@@ -1,0 +1,179 @@
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+// Integration tests exercising the whole public API surface end to end:
+// workload generation → orders → scheduling → simulation/execution →
+// bounds, plus file round trips. These are the flows the README and the
+// examples promise.
+
+func TestPublicPipelineSynthetic(t *testing.T) {
+	tr, err := repro.SyntheticTree(5, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, minMem := repro.MinMemPostOrder(tr)
+	if minMem <= 0 {
+		t.Fatal("non-positive minimum memory")
+	}
+	for _, factor := range []float64{1, 2} {
+		m := factor * minMem
+		s, err := repro.NewMemBooking(tr, m, ao, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := repro.Simulate(tr, 8, s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := repro.BestLowerBound(tr, 8, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < lb-1e-9 {
+			t.Fatalf("makespan %g below LB %g", res.Makespan, lb)
+		}
+	}
+}
+
+func TestPublicPipelineAssembly(t *testing.T) {
+	tr, err := repro.AssemblyTreeFromGrid2D(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr3, err := repro.AssemblyTreeFromGrid3D(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []*repro.Tree{tr, tr3} {
+		ao, minMem := repro.MinMemPostOrder(tt)
+		act, err := repro.NewActivation(tt, 3*minMem, ao, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repro.Simulate(tt, 4, act, 3*minMem); err != nil {
+			t.Fatal(err)
+		}
+		red, err := repro.NewMemBookingRedTree(tt, 5*minMem, ao, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repro.Simulate(red.Tree(), 4, red, 5*minMem); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicOrdersAgree(t *testing.T) {
+	tr, err := repro.SyntheticTree(9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOrd, optPeak := repro.OptSeq(tr)
+	_, poPeak := repro.MinMemPostOrder(tr)
+	if optPeak > poPeak+1e-9 {
+		t.Fatalf("OptSeq peak %g worse than memPO %g", optPeak, poPeak)
+	}
+	measured, err := repro.PeakMemory(tr, optOrd.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(measured-optPeak) > 1e-6 {
+		t.Fatalf("reported %g, measured %g", optPeak, measured)
+	}
+	for _, name := range []string{"memPO", "perfPO", "CP", "OptSeq", "naturalPO", "avgMemPO"} {
+		if _, _, err := repro.OrderByName(tr, name); err != nil {
+			t.Fatalf("OrderByName(%s): %v", name, err)
+		}
+	}
+	if _, _, err := repro.OrderByName(tr, "bogus"); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+}
+
+func TestPublicTreeIO(t *testing.T) {
+	tr, err := repro.SyntheticTree(11, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteTree(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip %d != %d nodes", back.Len(), tr.Len())
+	}
+	path := filepath.Join(t.TempDir(), "x.tree")
+	if err := repro.WriteTreeFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := repro.ReadTreeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Len() != tr.Len() {
+		t.Fatal("file round trip size changed")
+	}
+}
+
+func TestPublicExecute(t *testing.T) {
+	tr, err := repro.SyntheticTree(13, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, minMem := repro.MinMemPostOrder(tr)
+	s, err := repro.NewMemBooking(tr, minMem, ao, repro.CriticalPathOrder(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	res, err := repro.Execute(tr, s, 4, func(id repro.NodeID) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != int64(tr.Len()) || res.Tasks != tr.Len() {
+		t.Fatalf("executed %d of %d tasks", count, tr.Len())
+	}
+	if res.PeakMem > minMem+1e-9 {
+		t.Fatalf("live peak %g over bound %g", res.PeakMem, minMem)
+	}
+}
+
+func TestPublicBuilderAndCorpus(t *testing.T) {
+	b := repro.NewTreeBuilder(3)
+	root := b.AddRoot(0, 2, 1)
+	b.Add(root, 0, 1, 1)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("builder tree has %d nodes", tr.Len())
+	}
+	c := repro.SyntheticCorpus(3, 2, []int{100})
+	if len(c) != 2 || c[0].Tree.Len() != 100 {
+		t.Fatalf("corpus wrong: %d instances", len(c))
+	}
+	lb := repro.ClassicalLowerBound(tr, 2)
+	if lb <= 0 {
+		t.Fatal("bad classical LB")
+	}
+	if _, err := repro.MemoryLowerBound(tr, 0); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}

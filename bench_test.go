@@ -1,0 +1,307 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per experiment ID, backed by internal/harness on miniature
+// corpora so `go test -bench=.` terminates in minutes) plus
+// micro-benchmarks of the algorithmic core: per-event scheduling cost
+// (the paper's §5.1 complexity claim), traversal orders, and the sparse
+// substrate. For paper-scale corpora use cmd/experiments -scale full.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/harness"
+	"repro/internal/moldable"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// benchCfg builds the miniature corpora once.
+var (
+	benchOnce sync.Once
+	benchAsm  []workload.Instance
+	benchSyn  []workload.Instance
+)
+
+func benchConfig(b *testing.B) *harness.Config {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchAsm, err = workload.AssemblyCorpus(1, workload.AssemblyCorpusOptions{
+			Grids2D:       []int{16, 24},
+			RandomN:       []int{300},
+			Bands:         [][2]int{{1200, 2}},
+			Amalgamations: []int{4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSyn = workload.SyntheticCorpus(1, 4, []int{500, 2000})
+	})
+	return &harness.Config{
+		Seed: 1, Procs: 8,
+		MemFactors: []float64{1, 1.25, 2, 5, 10},
+		Assembly:   benchAsm,
+		Synthetic:  benchSyn,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b)
+		tab, err := harness.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per paper artefact (see DESIGN.md §4 for the index).
+
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+func BenchmarkLowerBoundStats(b *testing.B) { benchExperiment(b, "lb") }
+func BenchmarkRedTreeFailures(b *testing.B) { benchExperiment(b, "redfail") }
+func BenchmarkAvgMemOrder(b *testing.B)     { benchExperiment(b, "avgmem") }
+func BenchmarkMemoryProfile(b *testing.B)   { benchExperiment(b, "profile") }
+
+// Micro-benchmarks of the algorithmic core.
+
+func benchTree(size int) *tree.Tree {
+	return workload.MustSynthetic(workload.NewRNG(99),
+		workload.SyntheticOptions{Nodes: size})
+}
+
+// BenchmarkMemBookingPerEvent measures the amortised scheduling cost per
+// task of a full MemBooking run (the §5.1 O(n(H+log n)) claim); the
+// ns/node metric is the figure the paper's "overhead below 1ms per node"
+// statement refers to.
+func BenchmarkMemBookingPerEvent(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(benchName(size), func(b *testing.B) {
+			t := benchTree(size)
+			ao, peak := order.MinMemPostOrder(t)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewMemBooking(t, 2*peak, ao, ao)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(t, 8, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.SchedTime.Seconds()*1e9/float64(size), "sched-ns/node")
+			}
+		})
+	}
+}
+
+func BenchmarkActivationPerEvent(b *testing.B) {
+	t := benchTree(10000)
+	ao, peak := order.MinMemPostOrder(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := baseline.NewActivation(t, 2*peak, ao, ao)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(t, 8, s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRedTreePerEvent(b *testing.B) {
+	t := benchTree(10000)
+	ao, peak := order.MinMemPostOrder(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := baseline.NewMemBookingRedTree(t, 5*peak, ao, ao)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(s.Tree(), 8, s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinMemPostOrder(b *testing.B) {
+	t := benchTree(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.MinMemPostOrder(t)
+	}
+}
+
+func BenchmarkOptSeq(b *testing.B) {
+	t := benchTree(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.OptSeq(t)
+	}
+}
+
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.MustSynthetic(workload.NewRNG(uint64(i)),
+			workload.SyntheticOptions{Nodes: 100000})
+	}
+}
+
+func BenchmarkEliminationTree(b *testing.B) {
+	p, _ := sparse.Grid2D(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.EliminationTree(p)
+	}
+}
+
+func BenchmarkColCounts(b *testing.B) {
+	p, coords := sparse.Grid2D(96, 96)
+	pp, err := p.Permute(sparse.NestedDissection(coords, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent := sparse.EliminationTree(pp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.ColCounts(pp, parent)
+	}
+}
+
+func BenchmarkMinimumDegree(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := sparse.RandomSym(1500, 4, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.MinimumDegree(p)
+	}
+}
+
+func BenchmarkAssemblyTree(b *testing.B) {
+	p, coords := sparse.Grid2D(64, 64)
+	perm := sparse.NestedDissection(coords, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.AssemblyTree(p, perm, &sparse.AssemblyOptions{Amalgamation: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(size int) string {
+	switch {
+	case size >= 1000000:
+		return "n1M"
+	case size >= 1000:
+		return "n" + itoa(size/1000) + "k"
+	default:
+		return "n" + itoa(size)
+	}
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}
+
+// Ablation and extension benchmarks (DESIGN.md §3 design choices and the
+// §8 moldable-tasks extension).
+
+func BenchmarkAblationStudy(b *testing.B) { benchExperiment(b, "ablation") }
+func BenchmarkMoldableStudy(b *testing.B) { benchExperiment(b, "moldable") }
+
+// BenchmarkAblationLazyBBS isolates the §5.1 lazy-initialisation
+// optimisation: identical decisions, different bookkeeping cost.
+func BenchmarkAblationLazyBBS(b *testing.B) {
+	t := benchTree(50000)
+	ao, peak := order.MinMemPostOrder(t)
+	for _, recompute := range []bool{false, true} {
+		name := "lazy"
+		if recompute {
+			name = "recompute"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewMemBooking(t, 1.2*peak, ao, ao)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetRecomputeBBS(recompute)
+				res, err := sim.Run(t, 8, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.SchedTime.Seconds()*1e9/50000, "sched-ns/node")
+			}
+		})
+	}
+}
+
+func BenchmarkMoldableRun(b *testing.B) {
+	t := benchTree(10000)
+	ao, peak := order.MinMemPostOrder(t)
+	prof := moldable.DefaultProfile(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := moldable.NewMemBookingMoldable(t, 2*peak, ao, ao, prof, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := moldable.Run(t, 8, s, prof, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedStudy(b *testing.B) { benchExperiment(b, "dist") }
+
+func BenchmarkDistributedRun(b *testing.B) {
+	t := benchTree(10000)
+	ao, peak := order.MinMemPostOrder(t)
+	mapping := distributed.ProportionalMapping(t, 4)
+	plat := distributed.Uniform(4, 2, peak, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distributed.Run(t, plat, mapping, ao, ao); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPriceStudy(b *testing.B) { benchExperiment(b, "price") }

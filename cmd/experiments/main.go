@@ -1,0 +1,116 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each experiment ID corresponds to one figure (fig2 …
+// fig15) or textual result (lb, redfail, avgmem; see DESIGN.md §4) and
+// prints a TSV table.
+//
+// Usage:
+//
+//	experiments -exp fig2                  # one experiment, default scale
+//	experiments -exp all -scale full       # everything, paper-scale corpora
+//	experiments -exp fig9 -p 8 -seed 3 -o out/
+//
+// -scale quick uses miniature corpora (seconds), -scale default a few
+// dozen medium trees (minutes), -scale full the large corpora (longer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all' (ids: "+fmt.Sprint(harness.IDs())+")")
+		scale   = flag.String("scale", "default", "corpus scale: quick, default, full")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		procs   = flag.Int("p", 8, "default processor count")
+		outDir  = flag.String("o", "", "write each table to <dir>/<id>.tsv instead of stdout")
+		verbose = flag.Bool("v", false, "progress output on stderr")
+	)
+	flag.Parse()
+
+	cfg, err := configFor(*scale, *seed, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := harness.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+".tsv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := tab.WriteTSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "%s: %d rows in %v -> %s\n",
+				id, len(tab.Rows), time.Since(start).Round(time.Millisecond),
+				filepath.Join(*outDir, id+".tsv"))
+		} else {
+			if err := tab.WriteTSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func configFor(scale string, seed uint64, procs int) (*harness.Config, error) {
+	cfg := &harness.Config{Seed: seed, Procs: procs}
+	switch scale {
+	case "quick":
+		assembly, err := workload.AssemblyCorpus(seed, workload.AssemblyCorpusOptions{
+			Grids2D:       []int{16, 24},
+			RandomN:       []int{300},
+			Bands:         [][2]int{{1000, 2}},
+			Amalgamations: []int{4},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Assembly = assembly
+		cfg.Synthetic = workload.SyntheticCorpus(seed, 4, []int{500, 2000})
+		cfg.MemFactors = []float64{1, 1.25, 2, 5, 10}
+	case "default":
+		// The Config defaults (see harness.Default) are used lazily.
+	case "full":
+		assembly, err := workload.AssemblyCorpus(seed, workload.DefaultAssemblyCorpus())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Assembly = assembly
+		cfg.Synthetic = workload.SyntheticCorpus(seed, 10, []int{1000, 10000, 100000})
+		cfg.MemFactors = []float64{1, 1.1, 1.25, 1.5, 2, 2.5, 3, 5, 7.5, 10, 15, 20}
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestConfigForScales(t *testing.T) {
+	for _, scale := range []string{"quick", "default", "full"} {
+		cfg, err := configFor(scale, 1, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		if cfg == nil {
+			t.Fatalf("%s: nil config", scale)
+		}
+	}
+	if _, err := configFor("bogus", 1, 8); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestQuickScaleIsSmall(t *testing.T) {
+	cfg, err := configFor("quick", 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, inst := range cfg.Assembly {
+		total += inst.Tree.Len()
+	}
+	if total == 0 || total > 20000 {
+		t.Fatalf("quick assembly corpus has %d nodes total", total)
+	}
+	if len(cfg.MemFactors) == 0 {
+		t.Fatal("quick scale has no memory factors")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	cases := []struct {
+		kind string
+		n    int
+		side int
+	}{
+		{"synthetic", 500, 0},
+		{"grid2d", 0, 12},
+		{"grid2d-rcm", 0, 10},
+		{"grid3d", 0, 4},
+		{"random", 150, 0},
+		{"band", 400, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			tr, err := generate(c.kind, c.n, c.side, 4, 2, 4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() < 2 {
+				t.Fatalf("degenerate %s tree: %d nodes", c.kind, tr.Len())
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := generate("bogus", 10, 10, 4, 2, 4, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate("synthetic", 300, 0, 0, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("synthetic", 300, 0, 0, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Parent(tree.NodeID(i)) != b.Parent(tree.NodeID(i)) {
+			t.Fatal("same seed, different trees")
+		}
+	}
+}

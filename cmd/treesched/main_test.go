@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func writeTempTree(t *testing.T) string {
+	t.Helper()
+	tr := workload.MustSynthetic(workload.NewRNG(3), workload.SyntheticOptions{Nodes: 200})
+	path := filepath.Join(t.TempDir(), "t.tree")
+	if err := tree.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllHeuristics(t *testing.T) {
+	path := writeTempTree(t)
+	// Silence the report output.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	for _, heur := range []string{"MemBooking", "Activation", "MemBookingRedTree"} {
+		if err := run(path, heur, 4, 0, 3, "memPO", "CP", false, false); err != nil {
+			t.Errorf("%s: %v", heur, err)
+		}
+	}
+	// Gantt + memory profile paths.
+	if err := run(path, "MemBooking", 4, 0, 2, "memPO", "memPO", true, true); err != nil {
+		t.Errorf("gantt/memprofile: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempTree(t)
+	if err := run(path, "Nope", 4, 0, 2, "memPO", "memPO", false, false); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if err := run(path, "MemBooking", 4, 0, 2, "CP", "memPO", false, false); err == nil {
+		t.Error("non-topological AO accepted")
+	}
+	if err := run(path, "MemBooking", 4, 0, 2, "bogus", "memPO", false, false); err == nil {
+		t.Error("unknown AO accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.tree"), "MemBooking", 4, 0, 2, "memPO", "memPO", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

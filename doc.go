@@ -1,0 +1,33 @@
+// Package repro is a Go implementation of dynamic memory-aware task-tree
+// scheduling, reproducing "Dynamic memory-aware task-tree scheduling"
+// (Aupy, Brasseur, Marchal — INRIA RR-8966 / IPDPS 2017).
+//
+// The library schedules rooted in-trees of tasks on p processors sharing
+// a bounded memory M. Each task i has execution data n_i, output data f_i
+// consumed by its parent, and processing time t_i; running it requires
+// MemNeeded(i) = Σ children outputs + n_i + f_i resident memory. The
+// centrepiece is the MemBooking scheduler: a dynamic policy that books
+// memory for tasks along a safe activation order, recycles the memory of
+// completed tasks towards their ancestors as late as possible, and is
+// guaranteed to finish whenever the sequential activation order fits in M
+// — while extracting far more parallelism than the classical activation
+// scheme.
+//
+// The package also provides the two baselines the paper compares against
+// (Activation and MemBookingRedTree), sequential traversal orders
+// including Liu's optimal non-postorder traversal, a discrete-event
+// simulator, a live goroutine executor, makespan lower bounds including
+// the paper's memory-aware bound, and workload generators (synthetic
+// trees and sparse-matrix assembly trees built from scratch).
+//
+// Quick start:
+//
+//	tr, _ := repro.ReadTreeFile("my.tree")
+//	ao, peak := repro.MinMemPostOrder(tr)
+//	sched, _ := repro.NewMemBooking(tr, 2*peak, ao, ao)
+//	res, _ := repro.Simulate(tr, 8, sched, 2*peak)
+//	fmt.Println(res.Makespan)
+//
+// See examples/ for runnable programs and cmd/experiments for the
+// reproduction of every figure of the paper.
+package repro

@@ -1,0 +1,64 @@
+// Multifrontal: the paper's motivating application. Factor a 2D Poisson
+// matrix (64×64 five-point grid) symbolically, build its assembly tree,
+// and compare the three schedulers across memory bounds — a miniature of
+// Figure 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	t, err := repro.AssemblyTreeFromGrid2D(64, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ao, minMem := repro.MinMemPostOrder(t)
+	fmt.Printf("assembly tree of a 64x64 grid: %d fronts, minimum memory %.3g entries\n",
+		t.Len(), minMem)
+
+	const p = 8
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mem/min\tActivation\tRedTree\tMemBooking\t(normalised makespan; --- = cannot complete)")
+	for _, factor := range []float64{1, 1.2, 1.5, 2, 3, 5, 10} {
+		m := factor * minMem
+		lb, err := repro.BestLowerBound(t, p, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%.1f", factor)
+		// Activation.
+		if s, err := repro.NewActivation(t, m, ao, ao); err == nil {
+			if res, err := repro.Simulate(t, p, s, m); err == nil {
+				row += fmt.Sprintf("\t%.3f", res.Makespan/lb)
+			} else {
+				row += "\t---"
+			}
+		}
+		// RedTree (runs on its transformed tree).
+		if rs, err := repro.NewMemBookingRedTree(t, m, ao, ao); err == nil {
+			if res, err := repro.Simulate(rs.Tree(), p, rs, m); err == nil {
+				row += fmt.Sprintf("\t%.3f", res.Makespan/lb)
+			} else {
+				row += "\t---"
+			}
+		}
+		// MemBooking.
+		if s, err := repro.NewMemBooking(t, m, ao, ao); err == nil {
+			if res, err := repro.Simulate(t, p, s, m); err == nil {
+				row += fmt.Sprintf("\t%.3f", res.Makespan/lb)
+			} else {
+				row += "\t---"
+			}
+		}
+		fmt.Fprintln(w, row+"\t")
+	}
+	w.Flush()
+	fmt.Println("\nMemBooking approaches the lower bound with a fraction of the memory")
+	fmt.Println("the other heuristics need — the paper's headline result.")
+}

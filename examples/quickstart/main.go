@@ -1,0 +1,63 @@
+// Quickstart: build a small task tree by hand, compute the safe
+// activation order, and schedule it with MemBooking on 2 processors
+// under the tightest possible memory bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A toy elimination tree:
+	//
+	//            root (n=2, f=4)
+	//           /    \
+	//        a(n=1,f=3)   b(n=1,f=2)
+	//        /   \          |
+	//      c(f=2) d(f=2)   e(f=3)
+	//
+	// Processing a needs f_c + f_d + n_a + f_a = 2+2+1+3 = 8.
+	b := repro.NewTreeBuilder(6)
+	root := b.AddRoot(2, 4, 3.0)
+	a := b.Add(root, 1, 3, 2.0)
+	bb := b.Add(root, 1, 2, 2.0)
+	b.Add(a, 0, 2, 1.0)  // c
+	b.Add(a, 0, 2, 1.0)  // d
+	b.Add(bb, 0, 3, 1.5) // e
+	t, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// memPO is both the activation order (it guarantees termination) and
+	// the execution priority.
+	ao, minMem := repro.MinMemPostOrder(t)
+	fmt.Printf("tree with %d tasks, minimum sequential memory %.0f\n", t.Len(), minMem)
+
+	// Schedule with the exact minimum memory: Theorem 1 guarantees
+	// completion no matter how many processors run.
+	sched, err := repro.NewMemBooking(t, minMem, ao, ao)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(t, 2, sched, minMem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, _ := repro.BestLowerBound(t, 2, minMem)
+	fmt.Printf("makespan %.2f on 2 processors (lower bound %.2f)\n", res.Makespan, lb)
+	fmt.Printf("peak memory used %.0f of %.0f budget, peak booked %.0f\n",
+		res.PeakMem, minMem, res.PeakBooked)
+
+	// Double the memory and the tree parallelises further.
+	sched2, _ := repro.NewMemBooking(t, 2*minMem, ao, ao)
+	res2, err := repro.Simulate(t, 2, sched2, 2*minMem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with 2x memory: makespan %.2f (%.0f%% faster)\n",
+		res2.Makespan, 100*(res.Makespan-res2.Makespan)/res.Makespan)
+}

@@ -1,0 +1,117 @@
+// Package baseline implements the two state-of-the-art competitors the
+// paper compares MemBooking against (§3): the simple Activation policy of
+// Agullo et al. (Algorithm 1) and the booking strategy for reduction
+// trees of Eyraud-Dubois et al. (MemBookingRedTree), including the
+// general-tree → reduction-tree transformation it requires.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// Activation is the simple activation heuristic (Algorithm 1): a task is
+// activated, in AO order, by booking its execution and output data
+// (n_i + f_i) in full; the outputs of finished children stay booked until
+// the parent completes. Activated tasks whose children are finished are
+// executed by EO priority. The policy is safe but conservative: it books
+// memory for every activated task even when precedence constraints make
+// simultaneous execution impossible.
+type Activation struct {
+	t  *tree.Tree
+	m  float64
+	ao *order.Order
+	eo *order.Order
+
+	mbooked  float64
+	aoIdx    int
+	chNotFin []int32
+	active   []bool
+	avail    *pqueue.RankHeap
+	eps      float64
+}
+
+// NewActivation builds the Activation scheduler. ao must be topological.
+func NewActivation(t *tree.Tree, m float64, ao, eo *order.Order) (*Activation, error) {
+	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+		return nil, fmt.Errorf("activation: activation order %q is not topological", ao.Name)
+	}
+	if len(eo.Seq) != t.Len() {
+		return nil, fmt.Errorf("activation: execution order %q covers %d of %d tasks", eo.Name, len(eo.Seq), t.Len())
+	}
+	return &Activation{t: t, m: m, ao: ao, eo: eo}, nil
+}
+
+// Name implements core.Scheduler.
+func (s *Activation) Name() string { return "Activation" }
+
+// BookedMemory implements core.Scheduler.
+func (s *Activation) BookedMemory() float64 { return s.mbooked }
+
+// Init implements core.Scheduler.
+func (s *Activation) Init() error {
+	n := s.t.Len()
+	s.chNotFin = make([]int32, n)
+	s.active = make([]bool, n)
+	s.avail = pqueue.NewRankHeap(s.eo.Rank())
+	s.eps = 1e-9 * (1 + math.Abs(s.m))
+	for i := 0; i < n; i++ {
+		s.chNotFin[i] = int32(s.t.Degree(tree.NodeID(i)))
+	}
+	s.tryActivate()
+	return nil
+}
+
+// tryActivate books n_i + f_i for the next tasks of AO while they fit.
+func (s *Activation) tryActivate() {
+	for s.aoIdx < len(s.ao.Seq) {
+		i := s.ao.Seq[s.aoIdx]
+		needed := s.t.Exec(i) + s.t.Out(i)
+		if s.mbooked+needed > s.m+s.eps {
+			return
+		}
+		s.mbooked += needed
+		s.active[i] = true
+		s.aoIdx++
+		if s.chNotFin[i] == 0 {
+			s.avail.Push(int32(i))
+		}
+	}
+}
+
+// OnFinish implements core.Scheduler: the finished task's execution data
+// and its children's outputs are freed (its own output stays booked for
+// the parent), then activation resumes.
+func (s *Activation) OnFinish(batch []tree.NodeID) {
+	for _, j := range batch {
+		freed := s.t.Exec(j)
+		for _, c := range s.t.Children(j) {
+			freed += s.t.Out(c)
+		}
+		s.mbooked -= freed
+		if p := s.t.Parent(j); p != tree.None {
+			s.chNotFin[p]--
+			if s.chNotFin[p] == 0 && s.active[p] {
+				s.avail.Push(int32(p))
+			}
+		}
+	}
+	s.tryActivate()
+}
+
+// Select implements core.Scheduler.
+func (s *Activation) Select(free int) []tree.NodeID {
+	if free <= 0 || s.avail.Len() == 0 {
+		return nil
+	}
+	out := make([]tree.NodeID, 0, free)
+	for free > 0 && s.avail.Len() > 0 {
+		out = append(out, tree.NodeID(s.avail.Pop()))
+		free--
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// MemBookingRedTree is the booking strategy for reduction trees (§3.2,
+// after Eyraud-Dubois, Marchal, Sinnen, Vivien, TOPC 2015). The input
+// tree is first transformed into a reduction tree by adding fictitious
+// leaves (see ToReductionTree); the scheduler then books, at activation
+// of each node i and in AO order, a statically computed amount
+//
+//	A_i = max(0, Book(i) − Σ_children Book(j))
+//	Book(i) = max(Σ_children Book(j), Σ_children f_j + f_i)
+//
+// so that once a subtree is fully activated it can always run to
+// completion inside its own booked memory. When a node finishes it keeps
+// its output plus a precomputed transmission Up(i) booked for its
+// ancestors and frees the rest. The strategy correctly predicts subtree
+// memory on reduction trees, but on transformed general trees the
+// fictitious data make it book more than necessary — it performs like
+// Activation and can fail to complete under tight bounds, which is
+// exactly the behaviour the paper reports.
+type MemBookingRedTree struct {
+	orig *tree.Tree
+	red  *RedTree
+	m    float64
+
+	aoSeq  []tree.NodeID // activation order on the transformed tree
+	eoRank []int32       // execution priority on the transformed tree
+
+	a    []float64 // A_i: booked at activation
+	up   []float64 // Up(i): kept booked for ancestors after i finishes
+	pool []float64 // booked memory attributed to i's completed children + A_i
+
+	mbooked  float64
+	aoIdx    int
+	chNotFin []int32
+	active   []bool
+	avail    *pqueue.RankHeap
+	eps      float64
+}
+
+// NewMemBookingRedTree builds the scheduler from the original tree and
+// orders expressed on the original tree; fictitious nodes are slotted
+// immediately before their parent in both orders.
+func NewMemBookingRedTree(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBookingRedTree, error) {
+	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+		return nil, fmt.Errorf("redtree: activation order %q is not topological", ao.Name)
+	}
+	if len(eo.Seq) != t.Len() {
+		return nil, fmt.Errorf("redtree: execution order %q covers %d of %d tasks", eo.Name, len(eo.Seq), t.Len())
+	}
+	red := ToReductionTree(t)
+	s := &MemBookingRedTree{orig: t, red: red, m: m}
+	s.aoSeq = extendSeq(red, ao.Seq)
+	eoSeq := extendSeq(red, eo.Seq)
+	s.eoRank = make([]int32, red.Tree.Len())
+	for i, v := range eoSeq {
+		s.eoRank[v] = int32(i)
+	}
+	return s, nil
+}
+
+// extendSeq inserts every fictitious leaf immediately before its parent
+// in seq (a sequence over original node IDs).
+func extendSeq(red *RedTree, seq []tree.NodeID) []tree.NodeID {
+	fict := make(map[tree.NodeID]tree.NodeID, len(red.FicParent))
+	for k, p := range red.FicParent {
+		fict[p] = tree.NodeID(red.Orig + k)
+	}
+	out := make([]tree.NodeID, 0, red.Tree.Len())
+	for _, v := range seq {
+		if f, ok := fict[v]; ok {
+			out = append(out, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Tree returns the transformed reduction tree the scheduler must be
+// executed on (it contains the fictitious zero-time tasks).
+func (s *MemBookingRedTree) Tree() *tree.Tree { return s.red.Tree }
+
+// Name implements core.Scheduler.
+func (s *MemBookingRedTree) Name() string { return "MemBookingRedTree" }
+
+// BookedMemory implements core.Scheduler.
+func (s *MemBookingRedTree) BookedMemory() float64 { return s.mbooked }
+
+// Init implements core.Scheduler: computes the static booking plan
+// (Book, A, capacities and transmissions Up) and activates the first
+// nodes.
+func (s *MemBookingRedTree) Init() error {
+	rt := s.red.Tree
+	n := rt.Len()
+	book := make([]float64, n)
+	s.a = make([]float64, n)
+	s.up = make([]float64, n)
+	s.pool = make([]float64, n)
+	cap_ := make([]float64, n) // Σ A over subtree − f_i
+	td := rt.TopDown()
+	for i := n - 1; i >= 0; i-- {
+		v := td[i]
+		sumBook, sumOut, sumA := 0.0, 0.0, 0.0
+		for _, c := range rt.Children(v) {
+			sumBook += book[c]
+			sumOut += rt.Out(c)
+			sumA += cap_[c] + rt.Out(c) // Σ A over child subtree
+		}
+		b := sumOut + rt.Out(v)
+		if sumBook > b {
+			b = sumBook
+		}
+		book[v] = b
+		s.a[v] = b - sumBook
+		if s.a[v] < 0 {
+			s.a[v] = 0
+		}
+		cap_[v] = sumA + s.a[v] - rt.Out(v)
+	}
+	// Transmissions, top-down: each node must still hold Up(i) for its
+	// ancestors when it finishes; the root holds nothing.
+	for _, v := range td {
+		kids := rt.Children(v)
+		if len(kids) == 0 {
+			continue
+		}
+		sumOut := 0.0
+		for _, c := range kids {
+			sumOut += rt.Out(c)
+		}
+		need := rt.Out(v) - s.a[v] // during-run requirement
+		if alt := rt.Out(v) + s.up[v] - s.a[v] - sumOut; alt > need {
+			need = alt // retention requirement
+		}
+		if need < 0 {
+			need = 0
+		}
+		for _, c := range kids {
+			give := need
+			if cap_[c] < give {
+				give = cap_[c]
+			}
+			if give < 0 {
+				give = 0
+			}
+			s.up[c] = give
+			need -= give
+		}
+		if need > 1e-9*(1+s.m) {
+			return fmt.Errorf("redtree: infeasible transmission plan at node %d (short by %g)", v, need)
+		}
+	}
+
+	s.chNotFin = make([]int32, n)
+	s.active = make([]bool, n)
+	s.avail = pqueue.NewRankHeap(s.eoRank)
+	s.eps = 1e-9 * (1 + math.Abs(s.m))
+	for i := 0; i < n; i++ {
+		s.chNotFin[i] = int32(rt.Degree(tree.NodeID(i)))
+		s.pool[i] = 0
+	}
+	s.tryActivate()
+	return nil
+}
+
+// tryActivate books A_i for the next tasks of AO while they fit.
+func (s *MemBookingRedTree) tryActivate() {
+	for s.aoIdx < len(s.aoSeq) {
+		i := s.aoSeq[s.aoIdx]
+		if s.mbooked+s.a[i] > s.m+s.eps {
+			return
+		}
+		s.mbooked += s.a[i]
+		s.pool[i] += s.a[i]
+		s.active[i] = true
+		s.aoIdx++
+		if s.chNotFin[i] == 0 {
+			s.avail.Push(int32(i))
+		}
+	}
+}
+
+// OnFinish implements core.Scheduler: the finished node keeps its output
+// and its transmission Up(i) booked, transmits them to the parent's pool
+// and frees the rest of its subtree's booked memory.
+func (s *MemBookingRedTree) OnFinish(batch []tree.NodeID) {
+	rt := s.red.Tree
+	for _, j := range batch {
+		keep := rt.Out(j) + s.up[j]
+		freed := s.pool[j] - keep
+		if freed < 0 {
+			freed = 0
+		}
+		s.mbooked -= freed
+		if p := rt.Parent(j); p != tree.None {
+			s.pool[p] += keep
+			s.chNotFin[p]--
+			if s.chNotFin[p] == 0 && s.active[p] {
+				s.avail.Push(int32(p))
+			}
+		} else {
+			s.mbooked -= keep
+		}
+	}
+	s.tryActivate()
+}
+
+// Select implements core.Scheduler.
+func (s *MemBookingRedTree) Select(free int) []tree.NodeID {
+	if free <= 0 || s.avail.Len() == 0 {
+		return nil
+	}
+	out := make([]tree.NodeID, 0, free)
+	for free > 0 && s.avail.Len() > 0 {
+		out = append(out, tree.NodeID(s.avail.Pop()))
+		free--
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bounds_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+func randTree(rng *rand.Rand, n int) *tree.Tree {
+	p := make([]tree.NodeID, n)
+	exec := make([]float64, n)
+	out := make([]float64, n)
+	tm := make([]float64, n)
+	p[0] = tree.None
+	for i := 1; i < n; i++ {
+		p[i] = tree.NodeID(rng.Intn(i))
+	}
+	for i := 0; i < n; i++ {
+		exec[i] = float64(rng.Intn(4))
+		out[i] = float64(1 + rng.Intn(9))
+		tm[i] = float64(1 + rng.Intn(7))
+	}
+	return tree.MustNew(p, exec, out, tm)
+}
+
+func TestClassicalOnChainAndStar(t *testing.T) {
+	// Chain of 4, unit times: CP = 4 dominates W/p for p >= 1.
+	chain := tree.MustNew([]tree.NodeID{tree.None, 0, 1, 2}, nil, nil, nil)
+	if lb := bounds.Classical(chain, 2); lb != 4 {
+		t.Fatalf("chain classical LB = %g, want 4", lb)
+	}
+	// Star of 1 root + 7 leaves, unit times: W/p = 8/2 = 4 > CP = 2.
+	p := make([]tree.NodeID, 8)
+	p[0] = tree.None
+	for i := 1; i < 8; i++ {
+		p[i] = 0
+	}
+	star := tree.MustNew(p, nil, nil, nil)
+	if lb := bounds.Classical(star, 2); lb != 4 {
+		t.Fatalf("star classical LB = %g, want 4", lb)
+	}
+}
+
+func TestMemoryBoundFormula(t *testing.T) {
+	// Two nodes: leaf (f=2, n=0, t=3, need 2) and root (f=1, n=1, t=2,
+	// need 2+1+1=4). Σ need·t = 2·3 + 4·2 = 14. M=7 -> LB = 2.
+	tr := tree.MustNew([]tree.NodeID{tree.None, 0},
+		[]float64{1, 0}, []float64{1, 2}, []float64{2, 3})
+	lb, err := bounds.Memory(tr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 2 {
+		t.Fatalf("memory LB = %g, want 2", lb)
+	}
+	if _, err := bounds.Memory(tr, 0); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+}
+
+// Theorem 3: every valid schedule's makespan is at least the memory bound.
+func TestMakespanRespectsBothBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		tr := randTree(rng, 1+rng.Intn(60))
+		ao, peak := order.MinMemPostOrder(tr)
+		for _, factor := range []float64{1, 2, 5} {
+			m := peak * factor
+			s, _ := core.NewMemBooking(tr, m, ao, ao)
+			res, err := sim.Run(tr, 4, s, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, err := bounds.Best(tr, 4, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan < best-1e-9 {
+				t.Fatalf("makespan %g below combined LB %g (factor %g, n=%d)",
+					res.Makespan, best, factor, tr.Len())
+			}
+		}
+	}
+}
+
+// The memory bound becomes dominant when memory is scarce relative to the
+// parallelism: with M exactly the sequential peak and many processors the
+// memory LB can exceed the classical LB.
+func TestMemoryBoundCanDominate(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	dominated := 0
+	for trial := 0; trial < 200; trial++ {
+		tr := randTree(rng, 2+rng.Intn(60))
+		_, peak := order.MinMemPostOrder(tr)
+		mem, err := bounds.Memory(tr, peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mem > bounds.Classical(tr, 32) {
+			dominated++
+		}
+	}
+	if dominated == 0 {
+		t.Fatal("memory bound never dominated the classical bound at p=32, M=peak")
+	}
+}

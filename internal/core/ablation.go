@@ -1,0 +1,52 @@
+package core
+
+// Ablation knobs for the two design choices DESIGN.md calls out. They
+// exist to measure, not to use: the defaults are the paper's algorithm.
+//
+//   - Dispatch selects how the memory freed by a finished task is handed
+//     to its ancestors. DispatchALAP (the paper, §4) gives an ancestor
+//     only what the unfinished part of its subtree cannot provide later;
+//     DispatchEager fills each ancestor's remaining need immediately,
+//     pinning memory high in the tree much earlier.
+//   - RecomputeBBS disables the §5.1 lazy-initialisation optimisation of
+//     BookedBySubtree: the missing memory of the activation head is
+//     recomputed from its children on every attempt, restoring the
+//     O(n·degree) re-evaluation cost the optimisation removes. Scheduling
+//     decisions are identical; only the overhead changes.
+type DispatchPolicy int
+
+const (
+	// DispatchALAP is the paper's As-Late-As-Possible re-allocation.
+	DispatchALAP DispatchPolicy = iota
+	// DispatchEager tops every ancestor up to its full need immediately.
+	DispatchEager
+)
+
+// SetDispatch selects the dispatch policy (before Init).
+func (s *MemBooking) SetDispatch(p DispatchPolicy) { s.dispatch = p }
+
+// SetRecomputeBBS disables the lazy BookedBySubtree optimisation
+// (before Init).
+func (s *MemBooking) SetRecomputeBBS(on bool) { s.recomputeBBS = on }
+
+// contribution returns how much of the freed budget b the ancestor i
+// receives under the active dispatch policy.
+func (s *MemBooking) contribution(i int32, b float64) float64 {
+	var c float64
+	switch s.dispatch {
+	case DispatchEager:
+		// Fill i's own booking up to its need, regardless of what the
+		// rest of its subtree could still provide.
+		c = s.need[i] - s.booked[i]
+	default:
+		// ALAP: only what the subtree cannot provide later.
+		c = s.need[i] - (s.bbs[i] - b)
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > b {
+		c = b
+	}
+	return c
+}

@@ -1,0 +1,351 @@
+// Package core implements the paper's primary contribution: the
+// MemBooking dynamic scheduler (Algorithms 2–4, in the optimised form of
+// Appendix B, Algorithms 5–6) for executing task trees on p processors
+// under a hard shared-memory bound M.
+//
+// A Scheduler is driven by an execution engine (the discrete-event
+// simulator in package sim, or the live executor in package executor):
+// the engine reports batches of task completions and asks the scheduler
+// which tasks to launch. All memory decisions — booking, transfer of
+// booked memory between ancestors, activation — live in the scheduler.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// Scheduler is a dynamic memory-aware scheduling policy.
+//
+// The engine contract: Init is called once before time 0; OnFinish is
+// called with every batch of tasks that completed at the same instant;
+// Select is called whenever processors are free and returns at most
+// `free` tasks, which the engine immediately starts. A scheduler must
+// never return a task whose children have not all finished, and must
+// guarantee that the model memory in use never exceeds the bound it was
+// constructed with.
+type Scheduler interface {
+	// Name identifies the policy (for reports).
+	Name() string
+	// Init prepares internal state and performs the initial activation.
+	Init() error
+	// OnFinish records that the given tasks completed. All tasks in one
+	// call completed at the same time instant.
+	OnFinish(batch []tree.NodeID)
+	// Select returns at most free tasks to start now. Returned tasks are
+	// running from the engine's point of view.
+	Select(free int) []tree.NodeID
+	// BookedMemory returns the total memory currently booked.
+	BookedMemory() float64
+}
+
+// Node states, in the order the paper presents them (§4).
+const (
+	stateUN   uint8 = iota // unprocessed: not yet considered
+	stateCAND              // candidate: all children activated
+	stateACT               // activated: enough memory booked in the subtree
+	stateRUN               // running
+	stateFN                // finished
+)
+
+// MemBooking is the paper's new scheduler. It activates nodes following a
+// topological activation order AO, booking only the memory the node's
+// subtree cannot provide, and on every task completion re-dispatches the
+// freed memory to the ancestors as late as possible (ALAP). It is
+// guaranteed to complete the tree whenever the sequential execution of AO
+// stays within M (Theorem 1).
+type MemBooking struct {
+	t  *tree.Tree
+	m  float64
+	ao *order.Order
+	eo *order.Order
+
+	need    []float64 // MemNeeded per node
+	booked  []float64 // Booked[i]
+	bbs     []float64 // BookedBySubtree[i]; -1 = not yet computed
+	mbooked float64   // Σ Booked
+
+	state     []uint8
+	chNotAct  []int32 // children still in UN ∪ CAND
+	chNotFin  []int32 // children not finished
+	cand      *pqueue.RankHeap
+	actf      *pqueue.RankHeap
+	remaining int
+
+	// eps is the tolerance for the memory-bound comparison so that
+	// booking exactly M survives floating-point rounding.
+	eps float64
+
+	// Ablation knobs (see ablation.go); zero values are the paper's
+	// algorithm.
+	dispatch     DispatchPolicy
+	recomputeBBS bool
+
+	// transient is extra memory reserved outside the per-node booking
+	// (per-processor workspaces of moldable tasks, §8 extension). It
+	// counts against the bound but not against the Lemma invariants.
+	transient float64
+
+	// CheckInvariants, when set before Init, re-verifies the Lemma 2–5
+	// invariants after every event; the first violation is recorded in
+	// InvariantErr. Meant for tests; expensive (O(n) per event).
+	CheckInvariants bool
+	InvariantErr    error
+}
+
+// NewMemBooking builds a MemBooking scheduler for tree t with memory
+// bound m, activation order ao (must be topological) and execution order
+// eo (any priority over the tasks).
+func NewMemBooking(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBooking, error) {
+	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+		return nil, fmt.Errorf("membooking: activation order %q is not topological", ao.Name)
+	}
+	if len(eo.Seq) != t.Len() {
+		return nil, fmt.Errorf("membooking: execution order %q covers %d of %d tasks", eo.Name, len(eo.Seq), t.Len())
+	}
+	if m < 0 || math.IsNaN(m) {
+		return nil, fmt.Errorf("membooking: invalid memory bound %v", m)
+	}
+	return &MemBooking{t: t, m: m, ao: ao, eo: eo}, nil
+}
+
+// Name implements Scheduler.
+func (s *MemBooking) Name() string { return "MemBooking" }
+
+// BookedMemory implements Scheduler.
+func (s *MemBooking) BookedMemory() float64 { return s.mbooked + s.transient }
+
+// ReserveTransient books extra memory outside the per-task accounting —
+// the per-processor workspace of a moldable task (§8 extension). It
+// returns false, reserving nothing, if the bound would be exceeded.
+func (s *MemBooking) ReserveTransient(amount float64) bool {
+	if amount < 0 || s.mbooked+s.transient+amount > s.m+s.eps {
+		return false
+	}
+	s.transient += amount
+	return true
+}
+
+// ReleaseTransient returns memory taken with ReserveTransient.
+func (s *MemBooking) ReleaseTransient(amount float64) {
+	s.transient -= amount
+	if s.transient < 0 {
+		s.transient = 0
+	}
+}
+
+// Init implements Scheduler: it sets every leaf as a candidate and runs
+// the first activation round.
+func (s *MemBooking) Init() error {
+	n := s.t.Len()
+	s.need = s.t.MemNeededAll()
+	s.booked = make([]float64, n)
+	s.bbs = make([]float64, n)
+	s.state = make([]uint8, n)
+	s.chNotAct = make([]int32, n)
+	s.chNotFin = make([]int32, n)
+	s.cand = pqueue.NewRankHeap(s.ao.Rank())
+	s.actf = pqueue.NewRankHeap(s.eo.Rank())
+	s.remaining = n
+	s.eps = 1e-9 * (1 + math.Abs(s.m))
+	for i := 0; i < n; i++ {
+		s.bbs[i] = -1
+		d := int32(s.t.Degree(tree.NodeID(i)))
+		s.chNotAct[i] = d
+		s.chNotFin[i] = d
+		if d == 0 {
+			s.state[i] = stateCAND
+			s.cand.Push(int32(i))
+		}
+	}
+	s.updateCandAct()
+	s.check()
+	return nil
+}
+
+// OnFinish implements Scheduler: Algorithm 6, lines 4–17, followed by the
+// activation round (lines 18–30).
+func (s *MemBooking) OnFinish(batch []tree.NodeID) {
+	for _, j := range batch {
+		s.dispatchMemory(j)
+	}
+	s.updateCandAct()
+	s.check()
+}
+
+// dispatchMemory frees the memory of the finished node j, keeps its
+// output booked at the parent and re-allocates the remainder to the
+// ancestors in ACT ∪ RUN (or candidates with an initialised
+// BookedBySubtree) as late as possible.
+func (s *MemBooking) dispatchMemory(j tree.NodeID) {
+	s.state[j] = stateFN
+	s.remaining--
+	b := s.booked[j]
+	s.booked[j] = 0
+	s.mbooked -= b
+	s.bbs[j] = 0
+
+	i := s.t.Parent(j)
+	if i == tree.None {
+		return
+	}
+	s.chNotFin[i]--
+	if s.chNotFin[i] == 0 && s.state[i] == stateACT {
+		s.actf.Push(int32(i))
+	}
+	// The output of j survives, booked at its parent.
+	fj := s.t.Out(j)
+	s.booked[i] += fj
+	s.mbooked += fj
+	b -= fj
+	// ALAP dispatch: hand each ancestor only what its remaining subtree
+	// cannot provide later.
+	for i != tree.None && s.bbs[i] != -1 && b > s.eps {
+		c := s.contribution(int32(i), b)
+		s.booked[i] += c
+		s.mbooked += c
+		s.bbs[i] -= b - c
+		b -= c
+		i = s.t.Parent(i)
+	}
+	// Whatever is left of b is genuinely free memory.
+}
+
+// updateCandAct activates candidates in AO order while the missing memory
+// fits under the bound (Algorithm 6, lines 18–30).
+func (s *MemBooking) updateCandAct() {
+	for s.cand.Len() > 0 {
+		i := tree.NodeID(s.cand.Min())
+		if s.bbs[i] == -1 || s.recomputeBBS {
+			s.bbs[i] = s.subtreeSum(i)
+		}
+		missing := s.need[i] - s.bbs[i]
+		if missing < 0 {
+			missing = 0
+		}
+		if s.mbooked+s.transient+missing > s.m+s.eps {
+			return // wait for more memory
+		}
+		s.cand.Pop()
+		s.booked[i] += missing
+		s.mbooked += missing
+		s.bbs[i] = s.subtreeSum(i)
+		s.state[i] = stateACT
+		if s.chNotFin[i] == 0 {
+			s.actf.Push(int32(i))
+		}
+		if p := s.t.Parent(i); p != tree.None {
+			s.chNotAct[p]--
+			if s.chNotAct[p] == 0 {
+				s.state[p] = stateCAND
+				s.cand.Push(int32(p))
+			}
+		}
+	}
+}
+
+// subtreeSum recomputes Booked[i] + Σ_{children} BookedBySubtree[j]. All
+// children of a candidate are activated (or finished), so their bbs is
+// always initialised.
+func (s *MemBooking) subtreeSum(i tree.NodeID) float64 {
+	sum := s.booked[i]
+	for _, c := range s.t.Children(i) {
+		sum += s.bbs[c]
+	}
+	return sum
+}
+
+// Select implements Scheduler: it starts the activated, available tasks
+// with the highest EO priority.
+func (s *MemBooking) Select(free int) []tree.NodeID {
+	if free <= 0 || s.actf.Len() == 0 {
+		return nil
+	}
+	out := make([]tree.NodeID, 0, free)
+	for free > 0 && s.actf.Len() > 0 {
+		i := tree.NodeID(s.actf.Pop())
+		s.state[i] = stateRUN
+		out = append(out, i)
+		free--
+	}
+	return out
+}
+
+// Done reports whether every task has finished.
+func (s *MemBooking) Done() bool { return s.remaining == 0 }
+
+// check verifies the proof invariants (Lemmas 2–5) when CheckInvariants
+// is enabled. The first violation is kept in InvariantErr.
+func (s *MemBooking) check() {
+	if !s.CheckInvariants || s.InvariantErr != nil {
+		return
+	}
+	if s.dispatch != DispatchALAP {
+		// The Lemma 2–5 bookkeeping is specific to ALAP dispatch; the
+		// eager ablation intentionally violates it (it may over-book a
+		// node beyond its need).
+		return
+	}
+	fail := func(format string, args ...any) {
+		if s.InvariantErr == nil {
+			s.InvariantErr = fmt.Errorf(format, args...)
+		}
+	}
+	tol := s.eps * float64(s.t.Len()+1)
+	sum := 0.0
+	for i := 0; i < s.t.Len(); i++ {
+		sum += s.booked[i]
+	}
+	if math.Abs(sum-s.mbooked) > tol {
+		fail("Σ Booked = %v but MBooked = %v", sum, s.mbooked)
+	}
+	if s.mbooked > s.m+tol {
+		fail("MBooked %v exceeds bound %v", s.mbooked, s.m)
+	}
+	for i := 0; i < s.t.Len(); i++ {
+		id := tree.NodeID(i)
+		switch s.state[i] {
+		case stateRUN:
+			if math.Abs(s.booked[i]-s.need[i]) > tol {
+				fail("running node %d: Booked %v != MemNeeded %v", i, s.booked[i], s.need[i])
+			}
+		case stateFN:
+			if s.booked[i] != 0 || s.bbs[i] != 0 {
+				fail("finished node %d: Booked %v bbs %v", i, s.booked[i], s.bbs[i])
+			}
+		case stateUN:
+			if s.bbs[i] != -1 {
+				fail("unprocessed node %d has bbs %v", i, s.bbs[i])
+			}
+		}
+		// Lemma 2 for nodes whose bbs is untouched.
+		if (s.state[i] == stateUN || s.state[i] == stateCAND) && s.bbs[i] == -1 {
+			fin := 0.0
+			for _, c := range s.t.Children(id) {
+				if s.state[c] == stateFN {
+					fin += s.t.Out(c)
+				}
+			}
+			if math.Abs(s.booked[i]-fin) > tol {
+				fail("Lemma 2: node %d Booked %v != Σ finished children outputs %v", i, s.booked[i], fin)
+			}
+		}
+		// Lemma 3 (2): activated/running nodes are covered.
+		if s.state[i] == stateACT || s.state[i] == stateRUN {
+			if s.bbs[i] < s.need[i]-tol {
+				fail("Lemma 3(2): node %d bbs %v < MemNeeded %v", i, s.bbs[i], s.need[i])
+			}
+		}
+		// Lemma 3 (3): bbs identity for every node with initialised bbs
+		// that is not finished.
+		if s.bbs[i] != -1 && s.state[i] != stateFN {
+			if got := s.subtreeSum(id); math.Abs(got-s.bbs[i]) > tol {
+				fail("Lemma 3(3): node %d bbs %v != Booked+Σchildren %v", i, s.bbs[i], got)
+			}
+		}
+	}
+}

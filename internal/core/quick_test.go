@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Property-based tests (testing/quick) of the system-level invariants.
+// Each property receives a random seed from quick and derives a random
+// tree, memory bound and processor count from it.
+
+func treeFromSeed(seed int64, maxN int) *tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	return randTree(rng, 1+rng.Intn(maxN))
+}
+
+// Property: MemBooking completes every tree at M = peak(AO), and the
+// resulting makespan respects both lower bounds and never exceeds the
+// total work (no idle-forever states).
+func TestQuickTheorem1AndBounds(t *testing.T) {
+	prop := func(seed int64, pRaw uint8) bool {
+		tr := treeFromSeed(seed, 50)
+		p := 1 + int(pRaw%16)
+		ao, peak := order.MinMemPostOrder(tr)
+		s, err := core.NewMemBooking(tr, peak, ao, ao)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(tr, p, s, &sim.Options{CheckMemory: true, Bound: peak})
+		if err != nil {
+			t.Logf("seed %d p %d: %v", seed, p, err)
+			return false
+		}
+		lb, err := bounds.Best(tr, p, peak)
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= lb-1e-9 && res.Makespan <= tr.TotalWork()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the booked memory is monotone-safe — for any factor ≥ 1 the
+// peak booked never exceeds the bound and the model memory never exceeds
+// the booked memory (checked inside the simulator); and raising the
+// bound never breaks completion.
+func TestQuickMemoryDiscipline(t *testing.T) {
+	prop := func(seed int64, fRaw uint8) bool {
+		tr := treeFromSeed(seed, 60)
+		factor := 1 + float64(fRaw%40)/10 // 1.0 .. 4.9
+		ao, peak := order.MinMemPostOrder(tr)
+		m := factor * peak
+		s, err := core.NewMemBooking(tr, m, ao, ao)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(tr, 8, s, &sim.Options{CheckMemory: true, Bound: m})
+		if err != nil {
+			t.Logf("seed %d factor %g: %v", seed, factor, err)
+			return false
+		}
+		return res.PeakBooked <= m*(1+1e-9) && res.PeakMem <= res.PeakBooked*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full invariant checker (Lemmas 2–5) holds after every
+// event on arbitrary trees, bounds and execution orders.
+func TestQuickLemmaInvariants(t *testing.T) {
+	prop := func(seed int64, eoPick uint8) bool {
+		tr := treeFromSeed(seed, 30)
+		ao, peak := order.MinMemPostOrder(tr)
+		var eo *order.Order
+		switch eoPick % 3 {
+		case 0:
+			eo = ao
+		case 1:
+			eo = order.CriticalPathOrder(tr)
+		default:
+			eo = order.PerfPostOrder(tr)
+		}
+		s, err := core.NewMemBooking(tr, peak, ao, eo)
+		if err != nil {
+			return false
+		}
+		s.CheckInvariants = true
+		if _, err := sim.Run(tr, 4, s, nil); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if s.InvariantErr != nil {
+			t.Logf("seed %d: %v", seed, s.InvariantErr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MemBooking's makespan never exceeds Activation-like
+// sequential execution (total work) and a schedule exists for every
+// factor ≥ 1 — i.e. the guarantee region is [peak, ∞).
+func TestQuickCompletionRegion(t *testing.T) {
+	prop := func(seed int64) bool {
+		tr := treeFromSeed(seed, 40)
+		ao, peak := order.MinMemPostOrder(tr)
+		for _, factor := range []float64{1, 1.0000001, 2, 10} {
+			s, err := core.NewMemBooking(tr, factor*peak, ao, ao)
+			if err != nil {
+				return false
+			}
+			if _, err := sim.Run(tr, 3, s, nil); err != nil {
+				t.Logf("seed %d factor %g: %v", seed, factor, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

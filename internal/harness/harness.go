@@ -1,0 +1,226 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6–7). Each experiment is a function from a Config to a
+// Table of rows matching the series plotted in the paper; the registry in
+// registry.go maps experiment IDs (fig2 … fig15, lb, redfail, avgmem) to
+// runners. cmd/experiments and the root bench_test.go are thin wrappers
+// around this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// Heuristic names used throughout the tables.
+const (
+	HeurActivation = "Activation"
+	HeurRedTree    = "MemBookingRedTree"
+	HeurMemBooking = "MemBooking"
+)
+
+// AllHeuristics lists the three compared policies in paper order.
+var AllHeuristics = []string{HeurActivation, HeurRedTree, HeurMemBooking}
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives all workload generation.
+	Seed uint64
+	// Procs is the processor count (the paper's default is 8).
+	Procs int
+	// MemFactors are the normalised memory bounds (multiples of the
+	// minimal memory, i.e. the peak of the min-peak postorder).
+	MemFactors []float64
+	// Assembly is the assembly-tree corpus; nil selects a scaled-down
+	// default.
+	Assembly []workload.Instance
+	// Synthetic is the synthetic-tree corpus; nil selects a scaled-down
+	// default.
+	Synthetic []workload.Instance
+	// Verbose, when non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+// Default returns the laptop-scale defaults used by the benchmarks.
+func Default() *Config {
+	return &Config{Seed: 1, Procs: 8}
+}
+
+func (c *Config) procs() int {
+	if c.Procs <= 0 {
+		return 8
+	}
+	return c.Procs
+}
+
+func (c *Config) factors() []float64 {
+	if len(c.MemFactors) > 0 {
+		return c.MemFactors
+	}
+	return []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10, 15, 20}
+}
+
+func (c *Config) assembly() []workload.Instance {
+	if c.Assembly == nil {
+		corpus, err := workload.AssemblyCorpus(c.Seed, workload.AssemblyCorpusOptions{
+			Grids2D:       []int{40, 64, 96, 128, 160},
+			RCMGrids:      []int{40},
+			Grids3D:       []int{10, 12, 14, 16},
+			RandomN:       []int{800, 2000},
+			Bands:         [][2]int{{8000, 2}},
+			Amalgamations: []int{1, 8},
+		})
+		if err != nil {
+			panic(err) // deterministic inputs; cannot fail
+		}
+		c.Assembly = corpus
+	}
+	return c.Assembly
+}
+
+func (c *Config) synthetic() []workload.Instance {
+	if c.Synthetic == nil {
+		c.Synthetic = workload.SyntheticCorpus(c.Seed, 8, []int{1000, 10000})
+	}
+	return c.Synthetic
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// Table is an experiment result: a header and rows of formatted cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, formatting each cell with %v (floats as %.4g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch x := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.6g", x.Seconds())
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTSV emits the table as tab-separated values with # metadata lines.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepared caches the per-tree artefacts shared by all runs: the memPO
+// activation order and its sequential peak (the "minimum memory" all
+// bounds are normalised by).
+type prepared struct {
+	inst workload.Instance
+	ao   *order.Order
+	peak float64
+}
+
+func prepare(insts []workload.Instance) []prepared {
+	out := make([]prepared, len(insts))
+	for i, inst := range insts {
+		ao, peak := order.MinMemPostOrder(inst.Tree)
+		out[i] = prepared{inst: inst, ao: ao, peak: peak}
+	}
+	return out
+}
+
+// outcome is the result of one (tree, heuristic, factor) simulation.
+type outcome struct {
+	ok        bool
+	makespan  float64
+	peakMem   float64
+	booked    float64
+	schedTime time.Duration
+}
+
+// runOne simulates one heuristic on one tree under memory bound m with
+// activation order ao and execution order eo. RedTree runs on its
+// transformed tree; all other metrics refer to the same memory bound.
+func runOne(tr *tree.Tree, heur string, p int, m float64, ao, eo *order.Order) (outcome, error) {
+	var (
+		s   core.Scheduler
+		run = tr
+		err error
+	)
+	switch heur {
+	case HeurActivation:
+		s, err = baseline.NewActivation(tr, m, ao, eo)
+	case HeurRedTree:
+		var rs *baseline.MemBookingRedTree
+		rs, err = baseline.NewMemBookingRedTree(tr, m, ao, eo)
+		if err == nil {
+			s, run = rs, rs.Tree()
+		}
+	case HeurMemBooking:
+		s, err = core.NewMemBooking(tr, m, ao, eo)
+	default:
+		err = fmt.Errorf("harness: unknown heuristic %q", heur)
+	}
+	if err != nil {
+		return outcome{}, err
+	}
+	res, err := sim.Run(run, p, s, &sim.Options{CheckMemory: true, Bound: m})
+	if err != nil {
+		if _, dead := err.(*sim.ErrDeadlock); dead {
+			return outcome{ok: false}, nil
+		}
+		return outcome{}, err
+	}
+	return outcome{
+		ok:        true,
+		makespan:  res.Makespan,
+		peakMem:   res.PeakMem,
+		booked:    res.PeakBooked,
+		schedTime: res.SchedTime,
+	}, nil
+}
+
+// normalize returns the makespan divided by the best lower bound (the
+// maximum of the classical and the memory-aware bound of §6).
+func normalize(tr *tree.Tree, p int, m, makespan float64) float64 {
+	lb, err := bounds.Best(tr, p, m)
+	if err != nil || lb == 0 {
+		return 1
+	}
+	return makespan / lb
+}

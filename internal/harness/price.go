@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// priceStudy quantifies the price of the memory bound: the ratio between
+// MemBooking's makespan at a given normalised bound and its makespan
+// with unbounded memory (same trees, same orders, CP execution
+// priority). A ratio of 1 means the bound is free; the experiment shows
+// where, on each corpus, memory stops being the binding constraint —
+// context for the paper's observation that MemBooking gets within ≈10%
+// of the lower bound by bound 3.
+func priceStudy(cfg *Config) (*Table, error) {
+	t := &Table{ID: "price",
+		Title:  "price of the memory bound: makespan vs unbounded-memory makespan",
+		Header: []string{"corpus", "mem_factor", "slowdown_mean", "slowdown_median", "slowdown_max"}}
+	for _, corpus := range []struct {
+		name  string
+		insts []prepared
+	}{{"assembly", prepare(cfg.assembly())}, {"synthetic", prepare(cfg.synthetic())}} {
+		p := cfg.procs()
+		// Unbounded reference per tree.
+		ref := make([]float64, len(corpus.insts))
+		for i, pr := range corpus.insts {
+			eo := order.CriticalPathOrder(pr.inst.Tree)
+			s, err := core.NewMemBooking(pr.inst.Tree, math.Inf(1), pr.ao, eo)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(pr.inst.Tree, p, s, nil)
+			if err != nil {
+				return nil, fmt.Errorf("unbounded on %s: %w", pr.inst.Name, err)
+			}
+			ref[i] = res.Makespan
+		}
+		for _, factor := range cfg.factors() {
+			var ratios []float64
+			for i, pr := range corpus.insts {
+				m := factor * pr.peak
+				eo := order.CriticalPathOrder(pr.inst.Tree)
+				s, err := core.NewMemBooking(pr.inst.Tree, m, pr.ao, eo)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(pr.inst.Tree, p, s, &sim.Options{CheckMemory: true, Bound: m})
+				if err != nil {
+					return nil, fmt.Errorf("bounded on %s: %w", pr.inst.Name, err)
+				}
+				if ref[i] > 0 {
+					ratios = append(ratios, res.Makespan/ref[i])
+				}
+			}
+			sum := stats.Summarize(ratios)
+			t.Add(corpus.name, factor, sum.Mean, sum.Median, sum.Max)
+		}
+		cfg.logf("price: %s done", corpus.name)
+	}
+	return t, nil
+}

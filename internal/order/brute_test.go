@@ -1,0 +1,159 @@
+package order
+
+import (
+	"math"
+
+	"repro/internal/tree"
+)
+
+// bruteForceOptimalPeak enumerates every topological order of t and
+// returns the minimum sequential peak memory. Exponential: tests only.
+func bruteForceOptimalPeak(t *tree.Tree) float64 {
+	n := t.Len()
+	remaining := make([]int, n) // unfinished children per node
+	for i := 0; i < n; i++ {
+		remaining[i] = t.Degree(tree.NodeID(i))
+	}
+	done := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(doneCount int, frontier float64, curPeak float64)
+	rec = func(doneCount int, frontier, curPeak float64) {
+		if curPeak >= best {
+			return // prune
+		}
+		if doneCount == n {
+			best = curPeak
+			return
+		}
+		for i := 0; i < n; i++ {
+			v := tree.NodeID(i)
+			if done[i] || remaining[i] != 0 {
+				continue
+			}
+			peak := curPeak
+			if m := frontier + t.Exec(v) + t.Out(v); m > peak {
+				peak = m
+			}
+			nf := frontier + t.Out(v)
+			for _, c := range t.Children(v) {
+				nf -= t.Out(c)
+			}
+			done[i] = true
+			if p := t.Parent(v); p != tree.None {
+				remaining[p]--
+			}
+			rec(doneCount+1, nf, peak)
+			done[i] = false
+			if p := t.Parent(v); p != tree.None {
+				remaining[p]++
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// bruteForceBestPostOrderPeak enumerates all child permutations at every
+// node and returns the minimum postorder peak. Exponential: tests only.
+func bruteForceBestPostOrderPeak(t *tree.Tree) float64 {
+	// peakOf computes, bottom-up with full permutation search per node,
+	// the best postorder peak of each subtree. Because subtree traversals
+	// in a postorder are contiguous, the per-node optimum composes.
+	n := t.Len()
+	best := make([]float64, n)
+	td := t.TopDown()
+	for i := n - 1; i >= 0; i-- {
+		v := td[i]
+		kids := t.Children(v)
+		base := t.Exec(v) + t.Out(v)
+		if len(kids) == 0 {
+			best[v] = base
+			continue
+		}
+		perm := make([]int, len(kids))
+		for j := range perm {
+			perm[j] = j
+		}
+		bestHere := math.Inf(1)
+		var visit func(k int)
+		visit = func(k int) {
+			if k == len(perm) {
+				acc, p := 0.0, 0.0
+				for _, j := range perm {
+					c := kids[j]
+					if m := acc + best[c]; m > p {
+						p = m
+					}
+					acc += t.Out(c)
+				}
+				if m := acc + base; m > p {
+					p = m
+				}
+				if p < bestHere {
+					bestHere = p
+				}
+				return
+			}
+			for j := k; j < len(perm); j++ {
+				perm[k], perm[j] = perm[j], perm[k]
+				visit(k + 1)
+				perm[k], perm[j] = perm[j], perm[k]
+			}
+		}
+		visit(0)
+		best[v] = bestHere
+	}
+	return best[t.Root()]
+}
+
+// bruteForceBestPostOrderAvgMem enumerates all child permutations and
+// returns the minimum time-averaged memory over postorders.
+func bruteForceBestPostOrderAvgMem(t *tree.Tree) float64 {
+	bestAvg := math.Inf(1)
+	kidsPerm := make([][]tree.NodeID, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		kidsPerm[i] = append([]tree.NodeID(nil), t.Children(tree.NodeID(i))...)
+	}
+	var enumerate func(node int)
+	eval := func() {
+		// Build the postorder defined by kidsPerm and evaluate it.
+		var seq []tree.NodeID
+		var dfs func(v tree.NodeID)
+		dfs = func(v tree.NodeID) {
+			for _, c := range kidsPerm[v] {
+				dfs(c)
+			}
+			seq = append(seq, v)
+		}
+		dfs(t.Root())
+		avg, err := AvgMemory(t, seq)
+		if err != nil {
+			panic(err)
+		}
+		if avg < bestAvg {
+			bestAvg = avg
+		}
+	}
+	enumerate = func(node int) {
+		if node == t.Len() {
+			eval()
+			return
+		}
+		kids := kidsPerm[node]
+		var permute func(k int)
+		permute = func(k int) {
+			if k == len(kids) {
+				enumerate(node + 1)
+				return
+			}
+			for j := k; j < len(kids); j++ {
+				kids[k], kids[j] = kids[j], kids[k]
+				permute(k + 1)
+				kids[k], kids[j] = kids[j], kids[k]
+			}
+		}
+		permute(0)
+	}
+	enumerate(0)
+	return bestAvg
+}

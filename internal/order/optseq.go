@@ -1,0 +1,222 @@
+package order
+
+import (
+	"repro/internal/tree"
+)
+
+// OptSeq computes Liu's optimal sequential traversal (generalised tree
+// pebbling, Liu 1987): the topological order of the tree minimising peak
+// memory, without the postorder restriction. It returns the order and its
+// peak memory.
+//
+// The algorithm represents the optimal traversal of every subtree as a
+// sequence of hill–valley segments. Within a subtree's traversal, memory
+// rises to a hill H and settles at a valley V at each cut point; a
+// normalised sequence has strictly decreasing H−V. Children sequences are
+// merged by non-increasing H−V (the exchange-argument-optimal interleaving
+// of independent segment chains), the parent's own processing appends the
+// segment (Σf_j + n_i + f_i, f_i), and the result is re-normalised.
+//
+// Node identities ride along in rope (concatenation-tree) payloads so the
+// final order is recovered without quadratic copying.
+func OptSeq(t *tree.Tree) (*Order, float64) {
+	n := t.Len()
+	seqs := make([][]seg, n)
+	td := t.TopDown()
+	for i := n - 1; i >= 0; i-- {
+		v := td[i]
+		seqs[v] = buildNodeSeq(t, v, seqs)
+		for _, c := range t.Children(v) {
+			seqs[c] = nil // free child storage eagerly
+		}
+	}
+	root := seqs[t.Root()]
+	peak := 0.0
+	ord := make([]tree.NodeID, 0, n)
+	for _, s := range root {
+		if s.h > peak {
+			peak = s.h
+		}
+		ord = s.nodes.appendTo(ord)
+	}
+	return &Order{Name: "OptSeq", Seq: ord, Topological: true}, peak
+}
+
+// seg is one hill–valley segment; h and v are absolute memory levels
+// within the owning subtree's traversal (which starts from level 0).
+type seg struct {
+	h, v  float64
+	nodes *rope
+}
+
+func (s seg) key() float64 { return s.h - s.v }
+
+// buildNodeSeq merges the children sequences of v and appends v's own
+// processing segment, returning the normalised sequence for v's subtree.
+func buildNodeSeq(t *tree.Tree, v tree.NodeID, seqs [][]seg) []seg {
+	kids := t.Children(v)
+	total := 1
+	for _, c := range kids {
+		total += len(seqs[c])
+	}
+	merged := make([]seg, 0, total)
+
+	switch len(kids) {
+	case 0:
+		// nothing to merge
+	case 1:
+		merged = append(merged, seqs[kids[0]]...)
+	default:
+		merged = mergeChildren(t, kids, seqs, merged)
+	}
+
+	// Parent segment: after all children, the subtree holds Σ f_j; the
+	// processing of v raises memory to Σf_j + n_v + f_v and leaves f_v.
+	r := 0.0
+	for _, c := range kids {
+		r += t.Out(c)
+	}
+	merged = append(merged, seg{
+		h:     r + t.Exec(v) + t.Out(v),
+		v:     t.Out(v),
+		nodes: leafRope(v),
+	})
+	return normalize(merged)
+}
+
+// mergeChildren interleaves the children's segment sequences by
+// non-increasing H−V. Within each child the key is already non-increasing
+// (normalised), so a k-way greedy merge is globally ordered. Hills and
+// valleys are rebased from child-absolute to parent-absolute levels.
+func mergeChildren(t *tree.Tree, kids []tree.NodeID, seqs [][]seg, merged []seg) []seg {
+	k := len(kids)
+	cursor := make([]int, k)       // next segment per child
+	residual := make([]float64, k) // memory the consumed prefix of child c left behind
+	// Max-heap over child indices keyed by head-segment key.
+	key := make([]float64, k)
+	heap := make([]int32, 0, k)
+	push := func(c int32) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if key[heap[i]] <= key[heap[p]] {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() int32 {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && key[heap[l]] > key[heap[big]] {
+				big = l
+			}
+			if r < len(heap) && key[heap[r]] > key[heap[big]] {
+				big = r
+			}
+			if big == i {
+				return top
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	for c := 0; c < k; c++ {
+		if len(seqs[kids[c]]) > 0 {
+			key[c] = seqs[kids[c]][0].key()
+			push(int32(c))
+		}
+	}
+	rGlobal := 0.0 // sum of residuals of all children so far
+	for len(heap) > 0 {
+		c := pop()
+		s := seqs[kids[c]][cursor[c]]
+		cursor[c]++
+		base := rGlobal - residual[c] // level seen by child c's next segment
+		merged = append(merged, seg{h: base + s.h, v: base + s.v, nodes: s.nodes})
+		rGlobal = base + s.v
+		residual[c] = s.v
+		if cursor[c] < len(seqs[kids[c]]) {
+			key[c] = seqs[kids[c]][cursor[c]].key()
+			push(c)
+		}
+	}
+	return merged
+}
+
+// normalize fuses adjacent segments until hills are strictly decreasing
+// and valleys strictly increasing (Liu's canonical form). A valley that is
+// not lower than a later valley, or a hill dominated by a later hill,
+// marks a cut point no optimal interleaving would use, so the segments
+// around it are fused. Canonical form implies strictly decreasing H−V,
+// the property the k-way merge relies on.
+func normalize(in []seg) []seg {
+	out := in[:0]
+	for _, s := range in {
+		out = append(out, s)
+		for len(out) >= 2 {
+			a, b := out[len(out)-2], out[len(out)-1]
+			if b.h < a.h && b.v > a.v {
+				break
+			}
+			fused := seg{h: a.h, v: b.v, nodes: concat(a.nodes, b.nodes)}
+			if b.h > fused.h {
+				fused.h = b.h
+			}
+			out = out[:len(out)-2]
+			out = append(out, fused)
+		}
+	}
+	return out
+}
+
+// rope is a concatenation tree over node IDs: O(1) concat, linear flatten.
+type rope struct {
+	left, right *rope
+	leaf        tree.NodeID
+	isLeaf      bool
+}
+
+func leafRope(v tree.NodeID) *rope { return &rope{leaf: v, isLeaf: true} }
+
+func concat(a, b *rope) *rope {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &rope{left: a, right: b}
+}
+
+// appendTo flattens the rope left-to-right onto dst without recursion.
+func (r *rope) appendTo(dst []tree.NodeID) []tree.NodeID {
+	if r == nil {
+		return dst
+	}
+	stack := []*rope{r}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.isLeaf {
+			dst = append(dst, cur.leaf)
+			continue
+		}
+		// push right first so left is visited first
+		if cur.right != nil {
+			stack = append(stack, cur.right)
+		}
+		if cur.left != nil {
+			stack = append(stack, cur.left)
+		}
+	}
+	return dst
+}

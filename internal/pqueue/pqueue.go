@@ -1,0 +1,221 @@
+// Package pqueue provides small typed binary heaps used by the schedulers
+// and the event-driven simulator. The schedulers need heaps of node IDs
+// keyed by a precomputed rank (a position in an activation or execution
+// order); the simulator needs a heap of timed events. Implementing them
+// directly (rather than through container/heap's interface indirection)
+// keeps the per-event scheduling cost low, which §5.1 of the paper insists
+// on.
+package pqueue
+
+// RankHeap is a min-heap of int32 items ordered by a caller-supplied rank
+// array: the item with the smallest rank[item] is at the top. It is the
+// structure behind the CAND and ACTf heaps of Algorithm 5.
+type RankHeap struct {
+	items []int32
+	rank  []int32
+}
+
+// NewRankHeap returns a heap ordered by rank. The rank slice is captured by
+// reference; it must not change for items currently in the heap.
+func NewRankHeap(rank []int32) *RankHeap {
+	return &RankHeap{rank: rank}
+}
+
+// Len returns the number of queued items.
+func (h *RankHeap) Len() int { return len(h.items) }
+
+// Push inserts an item in O(log n).
+func (h *RankHeap) Push(x int32) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Min returns the smallest-rank item without removing it. It panics on an
+// empty heap.
+func (h *RankHeap) Min() int32 { return h.items[0] }
+
+// Pop removes and returns the smallest-rank item in O(log n).
+func (h *RankHeap) Pop() int32 {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *RankHeap) less(i, j int) bool { return h.rank[h.items[i]] < h.rank[h.items[j]] }
+
+func (h *RankHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *RankHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}
+
+// Event is a timed entry in the simulator's event queue.
+type Event struct {
+	Time float64
+	ID   int32
+	Seq  int64 // tie-breaker: insertion sequence, for determinism
+}
+
+// EventHeap is a min-heap of Events ordered by (Time, Seq).
+type EventHeap struct {
+	ev  []Event
+	seq int64
+}
+
+// Len returns the number of pending events.
+func (h *EventHeap) Len() int { return len(h.ev) }
+
+// Push inserts an event at the given time.
+func (h *EventHeap) Push(time float64, id int32) {
+	h.seq++
+	h.ev = append(h.ev, Event{time, id, h.seq})
+	h.up(len(h.ev) - 1)
+}
+
+// Min returns the earliest event without removing it.
+func (h *EventHeap) Min() Event { return h.ev[0] }
+
+// Pop removes and returns the earliest event.
+func (h *EventHeap) Pop() Event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *EventHeap) less(i, j int) bool {
+	if h.ev[i].Time != h.ev[j].Time {
+		return h.ev[i].Time < h.ev[j].Time
+	}
+	return h.ev[i].Seq < h.ev[j].Seq
+}
+
+func (h *EventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+func (h *EventHeap) down(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.ev[i], h.ev[small] = h.ev[small], h.ev[i]
+		i = small
+	}
+}
+
+// FloatHeap is a max-heap of int32 items keyed by a float64 priority,
+// used for k-way merges where the largest key must come first (for
+// example Liu's hill−valley segment merge).
+type FloatHeap struct {
+	items []int32
+	key   []float64
+}
+
+// NewFloatHeap returns a max-heap over the given key slice (captured by
+// reference; keys of queued items must not change).
+func NewFloatHeap(key []float64) *FloatHeap {
+	return &FloatHeap{key: key}
+}
+
+// Len returns the number of queued items.
+func (h *FloatHeap) Len() int { return len(h.items) }
+
+// Push inserts an item.
+func (h *FloatHeap) Push(x int32) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the largest-key item.
+func (h *FloatHeap) Pop() int32 {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *FloatHeap) more(i, j int) bool { return h.key[h.items[i]] > h.key[h.items[j]] }
+
+func (h *FloatHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.more(i, p) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *FloatHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.more(l, big) {
+			big = l
+		}
+		if r < n && h.more(r, big) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}

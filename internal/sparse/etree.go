@@ -1,0 +1,113 @@
+package sparse
+
+// EliminationTree computes the elimination tree of a symmetric pattern
+// (Liu's algorithm with path compression): parent[j] is the parent column
+// of column j in the etree of the Cholesky factor, or -1 for roots. For a
+// disconnected matrix the result is a forest.
+func EliminationTree(p *Pattern) []int32 {
+	n := p.N()
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for i := 0; i < n; i++ {
+		parent[i] = -1
+		ancestor[i] = -1
+		for _, k := range p.Adj(i) {
+			// Traverse from k to the root of its current subtree,
+			// compressing the ancestor path, and attach the root to i.
+			j := k
+			for ancestor[j] != -1 && ancestor[j] != int32(i) {
+				next := ancestor[j]
+				ancestor[j] = int32(i)
+				j = next
+			}
+			if ancestor[j] == -1 {
+				ancestor[j] = int32(i)
+				parent[j] = int32(i)
+			}
+		}
+	}
+	return parent
+}
+
+// ColCounts returns, for each column j, the number of nonzeros of column
+// j of the Cholesky factor L (including the diagonal). It walks the row
+// subtrees of the elimination tree: for every entry A(i,k) with k < i the
+// columns on the etree path k → i gain one row. O(nnz(L)) time, O(n)
+// extra space.
+func ColCounts(p *Pattern, parent []int32) []int32 {
+	n := p.N()
+	cc := make([]int32, n)
+	mark := make([]int32, n)
+	for j := 0; j < n; j++ {
+		cc[j] = 1 // diagonal
+		mark[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = int32(i) // the walk stops at i itself
+		for _, k := range p.Adj(i) {
+			for j := k; j != -1 && mark[j] != int32(i); j = parent[j] {
+				cc[j]++
+				mark[j] = int32(i)
+			}
+		}
+	}
+	return cc
+}
+
+// FactorNNZ returns Σ column counts, the nonzero count of L.
+func FactorNNZ(cc []int32) int64 {
+	var s int64
+	for _, c := range cc {
+		s += int64(c)
+	}
+	return s
+}
+
+// PostOrderETree returns a permutation new→old that postorders the
+// elimination forest: every column appears after all its descendants,
+// and the columns of each subtree are consecutive. Equivalent orderings
+// keep the factor structure; supernode detection requires it.
+func PostOrderETree(parent []int32) []int32 {
+	n := len(parent)
+	// children lists
+	head := make([]int32, n)
+	next := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	var roots []int32
+	for j := n - 1; j >= 0; j-- { // reversed so lists come out increasing
+		p := parent[j]
+		if p == -1 {
+			roots = append(roots, int32(j))
+			continue
+		}
+		next[j] = head[p]
+		head[p] = int32(j)
+	}
+	// reverse roots so the smallest root is first
+	for i, j := 0, len(roots)-1; i < j; i, j = i+1, j-1 {
+		roots[i], roots[j] = roots[j], roots[i]
+	}
+	post := make([]int32, 0, n)
+	type frame struct {
+		node  int32
+		child int32
+	}
+	var stack []frame
+	for _, r := range roots {
+		stack = append(stack, frame{r, head[r]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child != -1 {
+				c := f.child
+				f.child = next[c]
+				stack = append(stack, frame{c, head[c]})
+				continue
+			}
+			post = append(post, f.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return post
+}

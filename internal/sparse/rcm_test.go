@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(120)
+		p := RandomSym(n, 4, rng)
+		perm := ReverseCuthillMcKee(p)
+		if len(perm) != n {
+			t.Fatalf("RCM length %d != %d", len(perm), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatal("RCM is not a permutation")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A grid numbered randomly has terrible bandwidth; RCM must improve it.
+	p, _ := Grid2D(20, 20)
+	rng := rand.New(rand.NewSource(193))
+	shuffled := make([]int32, p.N())
+	for i, v := range rng.Perm(p.N()) {
+		shuffled[i] = int32(v)
+	}
+	sp, err := p.Permute(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Bandwidth(sp, NaturalOrder(sp.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Bandwidth(sp, ReverseCuthillMcKee(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("RCM bandwidth %d not below random %d", after, before)
+	}
+	// The optimal bandwidth of a 20x20 5-point grid is about 20; RCM
+	// should come close.
+	if after > 60 {
+		t.Fatalf("RCM bandwidth %d unexpectedly large", after)
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two disjoint triangles plus an isolated vertex (via an edge-free
+	// vertex at the end).
+	edges := [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}
+	p, err := NewPattern(7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ReverseCuthillMcKee(p)
+	seen := make([]bool, 7)
+	for _, v := range perm {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d missing from RCM order", i)
+		}
+	}
+}
+
+func TestRCMAssemblyTreeIsDeep(t *testing.T) {
+	// RCM on a grid yields a band-like factor whose assembly tree is much
+	// deeper than the nested-dissection one: the corpus extreme for the
+	// paper's height study.
+	p, coords := Grid2D(16, 16)
+	rcmRes, err := AssemblyTree(p, ReverseCuthillMcKee(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndRes, err := AssemblyTree(p, NestedDissection(coords, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcmRes.Tree.Height() <= ndRes.Tree.Height() {
+		t.Fatalf("RCM tree height %d not deeper than ND height %d",
+			rcmRes.Tree.Height(), ndRes.Tree.Height())
+	}
+}

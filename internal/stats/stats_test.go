@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	// Input must be untouched.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile(nil) not NaN")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.25); got != 2.5 {
+		t.Fatalf("q0.25 = %v, want 2.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty min/max not NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Mean != 50 || s.Median != 50 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.D1 != 10 || s.D9 != 90 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("summary quantiles = %+v", s)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Fatal("geomean of negative not NaN")
+	}
+}

@@ -1,0 +1,215 @@
+// Package trace records simulated executions and renders them as ASCII
+// Gantt charts and memory profiles — the observability layer behind
+// `treesched -gantt`. The recorder plugs into the simulator through a
+// wrapping scheduler, so any policy can be traced without modification.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// Span is one task execution.
+type Span struct {
+	Node       tree.NodeID
+	Start, End float64
+}
+
+// Recorder captures launch and finish times by wrapping a Scheduler. It
+// infers the simulation clock from the tasks themselves: a batch of
+// completions happens at start + duration of its tasks, and launches
+// happen at the time of the batch that freed their processors.
+type Recorder struct {
+	inner core.Scheduler
+	t     *tree.Tree
+
+	now     float64
+	started map[tree.NodeID]float64
+	spans   []Span
+}
+
+// NewRecorder wraps a scheduler for tracing under the discrete-event
+// simulator.
+func NewRecorder(t *tree.Tree, inner core.Scheduler) *Recorder {
+	return &Recorder{
+		inner:   inner,
+		t:       t,
+		started: make(map[tree.NodeID]float64),
+	}
+}
+
+// Name implements core.Scheduler.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Init implements core.Scheduler.
+func (r *Recorder) Init() error { return r.inner.Init() }
+
+// BookedMemory implements core.Scheduler.
+func (r *Recorder) BookedMemory() float64 { return r.inner.BookedMemory() }
+
+// OnFinish implements core.Scheduler and closes the spans of the batch.
+func (r *Recorder) OnFinish(batch []tree.NodeID) {
+	if len(batch) > 0 {
+		if s, ok := r.started[batch[0]]; ok {
+			r.now = s + r.t.Time(batch[0])
+		}
+	}
+	for _, j := range batch {
+		if s, ok := r.started[j]; ok {
+			r.spans = append(r.spans, Span{Node: j, Start: s, End: s + r.t.Time(j)})
+			delete(r.started, j)
+		}
+	}
+	r.inner.OnFinish(batch)
+}
+
+// Select implements core.Scheduler and opens spans for the launches.
+func (r *Recorder) Select(free int) []tree.NodeID {
+	out := r.inner.Select(free)
+	for _, i := range out {
+		r.started[i] = r.now
+	}
+	return out
+}
+
+// Spans returns the recorded executions sorted by start time.
+func (r *Recorder) Spans() []Span {
+	sort.Slice(r.spans, func(a, b int) bool {
+		if r.spans[a].Start != r.spans[b].Start {
+			return r.spans[a].Start < r.spans[b].Start
+		}
+		return r.spans[a].Node < r.spans[b].Node
+	})
+	return r.spans
+}
+
+// Gantt renders the spans as an ASCII chart: one row per processor lane,
+// time flowing right, width columns wide. Lanes are assigned greedily
+// (first free lane), which matches any engine that treats processors as
+// interchangeable.
+func Gantt(w io.Writer, spans []Span, makespan float64, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	if makespan <= 0 {
+		return fmt.Errorf("trace: non-positive makespan")
+	}
+	// Assign lanes.
+	type lane struct {
+		busyUntil float64
+		cells     []byte
+	}
+	var lanes []*lane
+	scale := float64(width) / makespan
+	glyphs := "##**%%@@++==oo"
+	for k, s := range spans {
+		var l *lane
+		for _, cand := range lanes {
+			if cand.busyUntil <= s.Start+1e-12 {
+				l = cand
+				break
+			}
+		}
+		if l == nil {
+			l = &lane{cells: []byte(strings.Repeat(".", width))}
+			lanes = append(lanes, l)
+		}
+		l.busyUntil = s.End
+		a := int(s.Start * scale)
+		b := int(s.End * scale)
+		if b >= width {
+			b = width - 1
+		}
+		g := glyphs[(k/2)%len(glyphs)]
+		for c := a; c <= b; c++ {
+			l.cells[c] = g
+		}
+	}
+	fmt.Fprintf(w, "time 0 %s %.4g\n", strings.Repeat("-", width-12), makespan)
+	for i, l := range lanes {
+		if _, err := fmt.Fprintf(w, "P%-3d %s\n", i, l.cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemoryProfile renders a (time, used, booked) series as an ASCII chart
+// with height rows, used drawn with '#', booked with '·' above it.
+type MemSample struct {
+	Time, Used, Booked float64
+}
+
+// RenderMemory draws the profile; bound scales the vertical axis.
+func RenderMemory(w io.Writer, samples []MemSample, bound float64, width, height int) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("trace: no samples")
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 4 {
+		height = 4
+	}
+	tmax := samples[len(samples)-1].Time
+	if tmax <= 0 {
+		tmax = 1
+	}
+	if bound <= 0 {
+		for _, s := range samples {
+			if s.Booked > bound {
+				bound = s.Booked
+			}
+		}
+		if bound == 0 {
+			bound = 1
+		}
+	}
+	// Bucket the samples per column, keeping the max of each column.
+	usedCol := make([]float64, width)
+	bookedCol := make([]float64, width)
+	for _, s := range samples {
+		c := int(s.Time / tmax * float64(width-1))
+		if s.Used > usedCol[c] {
+			usedCol[c] = s.Used
+		}
+		if s.Booked > bookedCol[c] {
+			bookedCol[c] = s.Booked
+		}
+	}
+	// Carry values forward over empty columns.
+	for c := 1; c < width; c++ {
+		if usedCol[c] == 0 && bookedCol[c] == 0 {
+			usedCol[c] = usedCol[c-1]
+			bookedCol[c] = bookedCol[c-1]
+		}
+	}
+	for row := height; row >= 1; row-- {
+		threshold := bound * float64(row) / float64(height)
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			switch {
+			case usedCol[c] >= threshold:
+				line[c] = '#'
+			case bookedCol[c] >= threshold:
+				line[c] = ':'
+			default:
+				line[c] = ' '
+			}
+		}
+		label := ""
+		if row == height {
+			label = fmt.Sprintf(" %.3g (bound)", bound)
+		}
+		if _, err := fmt.Fprintf(w, "|%s|%s\n", line, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "+%s+ t=%.4g  (# used, : booked)\n", strings.Repeat("-", width), tmax)
+	return err
+}

@@ -1,0 +1,130 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+func randTree(rng *rand.Rand, n int) *tree.Tree {
+	p := make([]tree.NodeID, n)
+	out := make([]float64, n)
+	tm := make([]float64, n)
+	p[0] = tree.None
+	for i := 1; i < n; i++ {
+		p[i] = tree.NodeID(rng.Intn(i))
+	}
+	for i := 0; i < n; i++ {
+		out[i] = float64(1 + rng.Intn(9))
+		tm[i] = float64(1 + rng.Intn(7))
+	}
+	return tree.MustNew(p, nil, out, tm)
+}
+
+// record runs a traced simulation and returns spans plus the result.
+func record(t *testing.T, tr *tree.Tree, p int) ([]trace.Span, *sim.Result) {
+	t.Helper()
+	ao, peak := order.MinMemPostOrder(tr)
+	inner, err := core.NewMemBooking(tr, 2*peak, ao, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(tr, inner)
+	res, err := sim.Run(tr, p, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Spans(), res
+}
+
+func TestRecorderCapturesEverySpanOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	for trial := 0; trial < 20; trial++ {
+		tr := randTree(rng, 1+rng.Intn(60))
+		spans, res := record(t, tr, 4)
+		if len(spans) != tr.Len() {
+			t.Fatalf("%d spans for %d tasks", len(spans), tr.Len())
+		}
+		seen := map[tree.NodeID]bool{}
+		for _, s := range spans {
+			if seen[s.Node] {
+				t.Fatalf("task %d recorded twice", s.Node)
+			}
+			seen[s.Node] = true
+			if s.End < s.Start {
+				t.Fatalf("span of %d ends before it starts", s.Node)
+			}
+			if want := tr.Time(s.Node); s.End-s.Start != want {
+				t.Fatalf("span of %d lasts %g, want %g", s.Node, s.End-s.Start, want)
+			}
+			if s.End > res.Makespan+1e-9 {
+				t.Fatalf("span of %d ends after the makespan", s.Node)
+			}
+		}
+	}
+}
+
+func TestRecorderRespectsPrecedence(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	tr := randTree(rng, 80)
+	spans, _ := record(t, tr, 8)
+	end := map[tree.NodeID]float64{}
+	for _, s := range spans {
+		end[s.Node] = s.End
+	}
+	for _, s := range spans {
+		for _, c := range tr.Children(s.Node) {
+			if end[c] > s.Start+1e-9 {
+				t.Fatalf("task %d started before child %d finished", s.Node, c)
+			}
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	tr := randTree(rng, 30)
+	spans, res := record(t, tr, 3)
+	var buf bytes.Buffer
+	if err := trace.Gantt(&buf, spans, res.Makespan, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + at most 3 processor lanes (p=3).
+	if len(lines) < 2 || len(lines) > 4 {
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "P0") {
+		t.Fatalf("missing lane label:\n%s", out)
+	}
+	if err := trace.Gantt(&buf, spans, 0, 60); err == nil {
+		t.Fatal("zero makespan accepted")
+	}
+}
+
+func TestRenderMemory(t *testing.T) {
+	samples := []trace.MemSample{
+		{Time: 0, Used: 1, Booked: 2},
+		{Time: 1, Used: 3, Booked: 4},
+		{Time: 2, Used: 2, Booked: 2},
+	}
+	var buf bytes.Buffer
+	if err := trace.RenderMemory(&buf, samples, 4, 40, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "bound") {
+		t.Fatalf("memory chart incomplete:\n%s", out)
+	}
+	if err := trace.RenderMemory(&buf, nil, 1, 40, 4); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+}

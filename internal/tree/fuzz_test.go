@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the .tree parser: it must never panic, and whenever
+// it accepts an input, the resulting tree must satisfy every structural
+// invariant and survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("0 -1 0 1 1\n")
+	f.Add("# comment\n0 -1 0.5 2 3\n1 0 0 1 1\n2 0 0 1 1\n")
+	f.Add("1 0 0 1 1\n0 -1 0 1 1\n")
+	f.Add("0 -1 1e300 1e-300 0\n")
+	f.Add("")
+	f.Add("0 -1 x y z\n")
+	f.Add("0 1\n")
+	f.Add("0 -1 NaN 1 1\n")
+	f.Add("0 -1 -5 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			// Read performs structural validation; attribute sanity
+			// (negative/NaN) is Validate's job, so a parse success with
+			// invalid attributes is allowed — anything else is a bug.
+			if !strings.Contains(verr.Error(), "negative") &&
+				!strings.Contains(verr.Error(), "NaN") {
+				t.Fatalf("accepted structurally invalid tree: %v", verr)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write failed on accepted tree: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", tr.Len(), back.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			id := NodeID(i)
+			if back.Parent(id) != tr.Parent(id) ||
+				back.Exec(id) != tr.Exec(id) ||
+				back.Out(id) != tr.Out(id) ||
+				back.Time(id) != tr.Time(id) {
+				t.Fatalf("round trip changed node %d", i)
+			}
+		}
+	})
+}

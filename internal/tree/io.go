@@ -1,0 +1,139 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The .tree text format, one task per line:
+//
+//	# comment
+//	<id> <parent|-1> <exec> <out> <time>
+//
+// IDs must be 0..n-1; lines may appear in any order.
+
+// Write serialises t in the .tree format.
+func Write(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# task tree: %d nodes\n", t.Len())
+	fmt.Fprintf(bw, "# id parent exec out time\n")
+	for i := 0; i < t.Len(); i++ {
+		id := NodeID(i)
+		_, err := fmt.Fprintf(bw, "%d %d %s %s %s\n", i, t.Parent(id),
+			fmtFloat(t.Exec(id)), fmtFloat(t.Out(id)), fmtFloat(t.Time(id)))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func fmtFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Read parses the .tree format.
+func Read(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type row struct {
+		parent          NodeID
+		exec, out, time float64
+		seen            bool
+	}
+	var rows []row
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("tree: line %d: want 5 fields, got %d", lineNo, len(f))
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("tree: line %d: bad id: %v", lineNo, err)
+		}
+		p, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("tree: line %d: bad parent: %v", lineNo, err)
+		}
+		var vals [3]float64
+		for k := 0; k < 3; k++ {
+			vals[k], err = strconv.ParseFloat(f[2+k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tree: line %d: bad float: %v", lineNo, err)
+			}
+		}
+		for id >= len(rows) {
+			rows = append(rows, row{})
+		}
+		if rows[id].seen {
+			return nil, fmt.Errorf("tree: line %d: duplicate id %d", lineNo, id)
+		}
+		rows[id] = row{NodeID(p), vals[0], vals[1], vals[2], true}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tree: empty input")
+	}
+	parent := make([]NodeID, len(rows))
+	exec := make([]float64, len(rows))
+	out := make([]float64, len(rows))
+	tm := make([]float64, len(rows))
+	for i, r := range rows {
+		if !r.seen {
+			return nil, fmt.Errorf("tree: missing node %d", i)
+		}
+		parent[i], exec[i], out[i], tm[i] = r.parent, r.exec, r.out, r.time
+	}
+	return New(parent, exec, out, tm)
+}
+
+// WriteFile writes t to path in the .tree format.
+func WriteFile(path string, t *Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a .tree file.
+func ReadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteDOT emits a Graphviz rendering of t (edges child -> parent, labels
+// with the node attributes). Intended for small trees.
+func WriteDOT(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph tasktree {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	for i := 0; i < t.Len(); i++ {
+		id := NodeID(i)
+		fmt.Fprintf(bw, "  n%d [label=\"%d\\nn=%.3g f=%.3g t=%.3g\"];\n",
+			i, i, t.Exec(id), t.Out(id), t.Time(id))
+		if p := t.Parent(id); p != None {
+			fmt.Fprintf(bw, "  n%d -> n%d [label=\"%.3g\"];\n", i, p, t.Out(id))
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

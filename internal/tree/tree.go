@@ -1,0 +1,386 @@
+// Package tree defines the rooted in-tree task-graph model of the paper
+// "Dynamic memory-aware task-tree scheduling" (Aupy, Brasseur, Marchal).
+//
+// A tree holds n tasks. Task i is characterised by its execution data n_i
+// (field Exec), the size f_i of its output data (field Out) and its
+// processing time t_i (field Time). Edges point towards the root: every
+// node has at most one parent, and the parent consumes the outputs of all
+// its children. Processing node i requires
+//
+//	MemNeeded(i) = sum_{j in children(i)} Out[j] + Exec[i] + Out[i]
+//
+// units of memory to be simultaneously resident.
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a task. IDs are dense indices in [0, Len()).
+type NodeID int32
+
+// None is the absent node (the parent of the root).
+const None NodeID = -1
+
+// Tree is an immutable rooted in-tree of tasks. Build one with New or
+// Builder; after construction the slices must not be mutated.
+type Tree struct {
+	parent []NodeID
+	exec   []float64 // n_i: execution data, freed when the task completes
+	out    []float64 // f_i: output data, freed when the parent completes
+	time   []float64 // t_i: processing time
+
+	root NodeID
+
+	// children in CSR layout: children of i are childList[childStart[i]:childStart[i+1]].
+	childStart []int32
+	childList  []NodeID
+}
+
+// New builds a tree from parallel arrays. parent[i] is the parent of node i
+// (None for the root). exec, out and time give n_i, f_i and t_i; any of them
+// may be nil, which is treated as all zeros (for time, all ones).
+func New(parent []NodeID, exec, out, tm []float64) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty node set")
+	}
+	fill := func(v []float64, def float64) ([]float64, error) {
+		if v == nil {
+			v = make([]float64, n)
+			for i := range v {
+				v[i] = def
+			}
+			return v, nil
+		}
+		if len(v) != n {
+			return nil, fmt.Errorf("tree: attribute length %d != %d nodes", len(v), n)
+		}
+		return v, nil
+	}
+	var err error
+	if exec, err = fill(exec, 0); err != nil {
+		return nil, err
+	}
+	if out, err = fill(out, 0); err != nil {
+		return nil, err
+	}
+	if tm, err = fill(tm, 1); err != nil {
+		return nil, err
+	}
+	t := &Tree{parent: parent, exec: exec, out: out, time: tm, root: None}
+	if err := t.index(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose inputs
+// are correct by construction.
+func MustNew(parent []NodeID, exec, out, tm []float64) *Tree {
+	t, err := New(parent, exec, out, tm)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// index builds the CSR children structure and validates the tree shape.
+func (t *Tree) index() error {
+	n := len(t.parent)
+	t.childStart = make([]int32, n+1)
+	for i, p := range t.parent {
+		if p == None {
+			if t.root != None {
+				return fmt.Errorf("tree: two roots (%d and %d)", t.root, i)
+			}
+			t.root = NodeID(i)
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("tree: node %d has out-of-range parent %d", i, p)
+		}
+		if int(p) == i {
+			return fmt.Errorf("tree: node %d is its own parent", i)
+		}
+		t.childStart[p+1]++
+	}
+	if t.root == None {
+		return fmt.Errorf("tree: no root")
+	}
+	for i := 0; i < n; i++ {
+		t.childStart[i+1] += t.childStart[i]
+	}
+	t.childList = make([]NodeID, n-1)
+	fill := make([]int32, n)
+	for i, p := range t.parent {
+		if p == None {
+			continue
+		}
+		t.childList[t.childStart[p]+fill[p]] = NodeID(i)
+		fill[p]++
+	}
+	// Reachability from the root proves acyclicity (n-1 edges + connected).
+	seen := 0
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen++
+		stack = append(stack, t.Children(v)...)
+	}
+	if seen != n {
+		return fmt.Errorf("tree: %d of %d nodes unreachable from root (cycle or forest)", n-seen, n)
+	}
+	return nil
+}
+
+// Len returns the number of tasks.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// Root returns the root task.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Parent returns the parent of i, or None for the root.
+func (t *Tree) Parent(i NodeID) NodeID { return t.parent[i] }
+
+// Children returns the children of i. The returned slice aliases internal
+// storage and must not be modified.
+func (t *Tree) Children(i NodeID) []NodeID {
+	return t.childList[t.childStart[i]:t.childStart[i+1]]
+}
+
+// Degree returns the number of children of i.
+func (t *Tree) Degree(i NodeID) int {
+	return int(t.childStart[i+1] - t.childStart[i])
+}
+
+// IsLeaf reports whether i has no children.
+func (t *Tree) IsLeaf(i NodeID) bool { return t.Degree(i) == 0 }
+
+// Exec returns n_i, the size of the execution data of i.
+func (t *Tree) Exec(i NodeID) float64 { return t.exec[i] }
+
+// Out returns f_i, the size of the output data of i.
+func (t *Tree) Out(i NodeID) float64 { return t.out[i] }
+
+// Time returns t_i, the processing time of i.
+func (t *Tree) Time(i NodeID) float64 { return t.time[i] }
+
+// MemNeeded returns the memory needed to process i (Equation (1) of the
+// paper): the outputs of all children plus the execution and output data.
+func (t *Tree) MemNeeded(i NodeID) float64 {
+	m := t.exec[i] + t.out[i]
+	for _, c := range t.Children(i) {
+		m += t.out[c]
+	}
+	return m
+}
+
+// MemNeededAll returns MemNeeded for every node in one pass.
+func (t *Tree) MemNeededAll() []float64 {
+	m := make([]float64, t.Len())
+	for i := range m {
+		m[i] = t.exec[i] + t.out[i]
+	}
+	for i, p := range t.parent {
+		if p != None {
+			m[p] += t.out[i]
+		}
+	}
+	return m
+}
+
+// Leaves returns the leaves of the tree in increasing ID order.
+func (t *Tree) Leaves() []NodeID {
+	var ls []NodeID
+	for i := 0; i < t.Len(); i++ {
+		if t.IsLeaf(NodeID(i)) {
+			ls = append(ls, NodeID(i))
+		}
+	}
+	return ls
+}
+
+// Depths returns the depth of every node (root = 0).
+func (t *Tree) Depths() []int32 {
+	d := make([]int32, t.Len())
+	for _, v := range t.TopDown() {
+		if p := t.parent[v]; p != None {
+			d[v] = d[p] + 1
+		}
+	}
+	return d
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+func (t *Tree) Height() int {
+	h := int32(0)
+	for _, d := range t.Depths() {
+		if d > h {
+			h = d
+		}
+	}
+	return int(h) + 1
+}
+
+// TopDown returns the nodes in an order where parents precede children
+// (BFS from the root).
+func (t *Tree) TopDown() []NodeID {
+	ord := make([]NodeID, 0, t.Len())
+	ord = append(ord, t.root)
+	for i := 0; i < len(ord); i++ {
+		ord = append(ord, t.Children(ord[i])...)
+	}
+	return ord
+}
+
+// PostOrderNatural returns a postorder traversal visiting children in ID
+// order; it is a valid topological order (children before parents).
+func (t *Tree) PostOrderNatural() []NodeID {
+	ord := make([]NodeID, 0, t.Len())
+	// Iterative DFS with explicit child cursor.
+	type frame struct {
+		node NodeID
+		next int
+	}
+	stack := []frame{{t.root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children(f.node)
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		ord = append(ord, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return ord
+}
+
+// SubtreeSizes returns, for every node, the number of nodes in its subtree
+// (including itself).
+func (t *Tree) SubtreeSizes() []int32 {
+	sz := make([]int32, t.Len())
+	td := t.TopDown()
+	for i := len(td) - 1; i >= 0; i-- {
+		v := td[i]
+		sz[v]++
+		if p := t.parent[v]; p != None {
+			sz[p] += sz[v]
+		}
+	}
+	return sz
+}
+
+// SubtreeWork returns, for every node, the total processing time of its
+// subtree (T_i in Appendix A of the paper).
+func (t *Tree) SubtreeWork() []float64 {
+	w := make([]float64, t.Len())
+	td := t.TopDown()
+	for i := len(td) - 1; i >= 0; i-- {
+		v := td[i]
+		w[v] += t.time[v]
+		if p := t.parent[v]; p != None {
+			w[p] += w[v]
+		}
+	}
+	return w
+}
+
+// TotalWork returns the sum of all processing times.
+func (t *Tree) TotalWork() float64 {
+	s := 0.0
+	for _, x := range t.time {
+		s += x
+	}
+	return s
+}
+
+// BottomLevels returns, for every node, the length of the path from the node
+// to the root inclusive (the classical bottom-level of an in-tree, used by
+// the critical-path orders).
+func (t *Tree) BottomLevels() []float64 {
+	bl := make([]float64, t.Len())
+	for _, v := range t.TopDown() {
+		if p := t.parent[v]; p != None {
+			bl[v] = bl[p] + t.time[v]
+		} else {
+			bl[v] = t.time[v]
+		}
+	}
+	return bl
+}
+
+// CriticalPath returns the length of the longest leaf-to-root path, a
+// classical makespan lower bound.
+func (t *Tree) CriticalPath() float64 {
+	cp := 0.0
+	for _, b := range t.BottomLevels() {
+		if b > cp {
+			cp = b
+		}
+	}
+	return cp
+}
+
+// MaxDegree returns the largest number of children of any node.
+func (t *Tree) MaxDegree() int {
+	d := 0
+	for i := 0; i < t.Len(); i++ {
+		if k := t.Degree(NodeID(i)); k > d {
+			d = k
+		}
+	}
+	return d
+}
+
+// Stats summarises structural properties of a tree.
+type Stats struct {
+	Nodes     int
+	Leaves    int
+	Height    int
+	MaxDegree int
+	TotalWork float64
+	TotalOut  float64
+	MaxNeed   float64 // largest MemNeeded of any single node
+}
+
+// ComputeStats gathers Stats in O(n).
+func (t *Tree) ComputeStats() Stats {
+	s := Stats{Nodes: t.Len(), Height: t.Height(), MaxDegree: t.MaxDegree()}
+	need := t.MemNeededAll()
+	for i := 0; i < t.Len(); i++ {
+		id := NodeID(i)
+		if t.IsLeaf(id) {
+			s.Leaves++
+		}
+		s.TotalWork += t.time[i]
+		s.TotalOut += t.out[i]
+		if need[i] > s.MaxNeed {
+			s.MaxNeed = need[i]
+		}
+	}
+	return s
+}
+
+// Validate re-checks structural invariants plus attribute sanity (no NaN,
+// no negative sizes or times). New already guarantees shape invariants;
+// Validate is for trees read from disk or produced by transforms.
+func (t *Tree) Validate() error {
+	for i := 0; i < t.Len(); i++ {
+		if t.exec[i] < 0 || t.out[i] < 0 || t.time[i] < 0 {
+			return fmt.Errorf("tree: node %d has negative attribute", i)
+		}
+		if math.IsNaN(t.exec[i]) || math.IsNaN(t.out[i]) || math.IsNaN(t.time[i]) {
+			return fmt.Errorf("tree: node %d has NaN attribute", i)
+		}
+	}
+	cp := make([]NodeID, len(t.parent))
+	copy(cp, t.parent)
+	check := &Tree{parent: cp, exec: t.exec, out: t.out, time: t.time, root: None}
+	return check.index()
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// RCM grids must contribute the deep-thin extreme to the corpus.
+func TestAssemblyCorpusRCMTreesAreDeep(t *testing.T) {
+	opt := AssemblyCorpusOptions{
+		Grids2D:       []int{20},
+		RCMGrids:      []int{20},
+		Amalgamations: []int{1},
+	}
+	c, err := AssemblyCorpus(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 {
+		t.Fatalf("corpus size %d, want 2", len(c))
+	}
+	var ndHeight, rcmHeight int
+	for _, inst := range c {
+		switch inst.Name {
+		case "grid2d-20-a1":
+			ndHeight = inst.Tree.Height()
+		case "grid2d-rcm-20-a1":
+			rcmHeight = inst.Tree.Height()
+		default:
+			t.Fatalf("unexpected instance %s", inst.Name)
+		}
+	}
+	if rcmHeight <= ndHeight {
+		t.Fatalf("RCM tree (h=%d) not deeper than ND tree (h=%d)", rcmHeight, ndHeight)
+	}
+}
+
+// Corpus generation is deterministic in the seed.
+func TestAssemblyCorpusDeterministic(t *testing.T) {
+	opt := AssemblyCorpusOptions{RandomN: []int{150}, Amalgamations: []int{4}}
+	a, err := AssemblyCorpus(9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssemblyCorpus(9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Tree.Len() != b[0].Tree.Len() {
+		t.Fatal("same seed produced different corpora")
+	}
+	for i := 0; i < a[0].Tree.Len(); i++ {
+		if a[0].Tree.Parent(tree.NodeID(i)) != b[0].Tree.Parent(tree.NodeID(i)) {
+			t.Fatal("same seed produced different tree shapes")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// FrontierPolicy chooses which open node receives the next children
+// during synthetic tree growth; it controls the depth of the trees
+// (the paper does not specify the construction order, see DESIGN.md).
+type FrontierPolicy int
+
+const (
+	// FrontierRandom expands a uniformly random open node (default);
+	// yields moderately deep trees.
+	FrontierRandom FrontierPolicy = iota
+	// FrontierFIFO expands breadth-first; yields shallow trees.
+	FrontierFIFO
+	// FrontierLIFO expands depth-first; yields deep trees.
+	FrontierLIFO
+)
+
+// SyntheticOptions parameterise the §7.1 synthetic generator.
+type SyntheticOptions struct {
+	// Nodes is the target tree size.
+	Nodes int
+	// Policy is the frontier expansion policy.
+	Policy FrontierPolicy
+	// DegreeWeights overrides the degree distribution over 1..5; nil
+	// uses the paper's table (0.58, 0.17, 0.08, 0.08, 0.08).
+	DegreeWeights []float64
+}
+
+// paperDegreeWeights is Pr(δ = 1..5) from §7.1.
+var paperDegreeWeights = []float64{0.58, 0.17, 0.08, 0.08, 0.08}
+
+// Synthetic generates a random task tree following §7.1 of the paper:
+// node degrees drawn from {1..5} with the published probabilities, edge
+// weights (output sizes f_i) from an exponential distribution of rate 1
+// multiplied by 100 and truncated to [10, 10000], execution data
+// n_i = 0.1·f_i, and processing time t_i proportional to f_i.
+func Synthetic(rng *RNG, opt SyntheticOptions) (*tree.Tree, error) {
+	n := opt.Nodes
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: synthetic tree needs a positive size, got %d", n)
+	}
+	weights := opt.DegreeWeights
+	if weights == nil {
+		weights = paperDegreeWeights
+	}
+	parent := make([]tree.NodeID, n)
+	parent[0] = tree.None
+	frontier := []tree.NodeID{0}
+	head := 0 // consumed prefix, for FIFO
+	next := 1
+	for next < n && head < len(frontier) {
+		var v tree.NodeID
+		switch opt.Policy {
+		case FrontierFIFO:
+			v = frontier[head]
+			head++
+		case FrontierLIFO:
+			v = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		default:
+			idx := head + rng.Intn(len(frontier)-head)
+			v = frontier[idx]
+			frontier[idx] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+		deg := rng.Pick(weights) + 1
+		if deg > n-next {
+			deg = n - next
+		}
+		for k := 0; k < deg; k++ {
+			parent[next] = v
+			frontier = append(frontier, tree.NodeID(next))
+			next++
+		}
+	}
+	// The frontier never empties before the budget is exhausted (every
+	// expansion adds at least one node), so next == n here.
+	out := make([]float64, n)
+	exec := make([]float64, n)
+	tm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w := 100 * rng.Exp()
+		if w < 10 {
+			w = 10
+		}
+		if w > 10000 {
+			w = 10000
+		}
+		out[i] = w
+		exec[i] = 0.1 * w
+		tm[i] = w // proportional to the outgoing edge weight
+	}
+	return tree.New(parent, exec, out, tm)
+}
+
+// MustSynthetic is Synthetic but panics on error.
+func MustSynthetic(rng *RNG, opt SyntheticOptions) *tree.Tree {
+	t, err := Synthetic(rng, opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

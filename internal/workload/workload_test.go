@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(2)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %v, want ≈1", mean)
+	}
+}
+
+func TestRNGPickDistribution(t *testing.T) {
+	r := NewRNG(3)
+	w := []float64{0.58, 0.17, 0.08, 0.08, 0.08}
+	counts := make([]int, 5)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	for i, c := range counts {
+		got := float64(c) / n
+		want := w[i] / total
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick(%d) frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSyntheticSizeAndAttributes(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000, 10000} {
+		rng := NewRNG(7)
+		tr := MustSynthetic(rng, SyntheticOptions{Nodes: n})
+		if tr.Len() != n {
+			t.Fatalf("size %d, want %d", tr.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			id := tree.NodeID(i)
+			f := tr.Out(id)
+			if f < 10 || f > 10000 {
+				t.Fatalf("edge weight %v outside [10,10000]", f)
+			}
+			if math.Abs(tr.Exec(id)-0.1*f) > 1e-9 {
+				t.Fatalf("exec data %v != 0.1·%v", tr.Exec(id), f)
+			}
+			if tr.Time(id) != f {
+				t.Fatalf("time %v not proportional to weight %v", tr.Time(id), f)
+			}
+		}
+	}
+	if _, err := Synthetic(NewRNG(1), SyntheticOptions{Nodes: 0}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := MustSynthetic(NewRNG(11), SyntheticOptions{Nodes: 500})
+	b := MustSynthetic(NewRNG(11), SyntheticOptions{Nodes: 500})
+	for i := 0; i < 500; i++ {
+		id := tree.NodeID(i)
+		if a.Parent(id) != b.Parent(id) || a.Out(id) != b.Out(id) {
+			t.Fatal("same seed produced different trees")
+		}
+	}
+}
+
+func TestSyntheticPolicyDepths(t *testing.T) {
+	const n = 4000
+	hFIFO := MustSynthetic(NewRNG(13), SyntheticOptions{Nodes: n, Policy: FrontierFIFO}).Height()
+	hRand := MustSynthetic(NewRNG(13), SyntheticOptions{Nodes: n, Policy: FrontierRandom}).Height()
+	hLIFO := MustSynthetic(NewRNG(13), SyntheticOptions{Nodes: n, Policy: FrontierLIFO}).Height()
+	if !(hFIFO < hRand && hRand < hLIFO) {
+		t.Fatalf("expected depth ordering FIFO < random < LIFO, got %d %d %d", hFIFO, hRand, hLIFO)
+	}
+}
+
+func TestSyntheticDegreeDistribution(t *testing.T) {
+	tr := MustSynthetic(NewRNG(17), SyntheticOptions{Nodes: 60000})
+	counts := make(map[int]int)
+	internal := 0
+	for i := 0; i < tr.Len(); i++ {
+		d := tr.Degree(tree.NodeID(i))
+		if d > 0 {
+			counts[d]++
+			internal++
+		}
+		if d > 5 {
+			t.Fatalf("degree %d exceeds 5", d)
+		}
+	}
+	// Degree 1 should clearly dominate (0.58 of the distribution).
+	if f := float64(counts[1]) / float64(internal); f < 0.5 || f > 0.66 {
+		t.Fatalf("degree-1 frequency %v, want ≈0.586", f)
+	}
+}
+
+func TestSyntheticCorpus(t *testing.T) {
+	c := SyntheticCorpus(1, 3, []int{100, 200})
+	if len(c) != 6 {
+		t.Fatalf("corpus size %d, want 6", len(c))
+	}
+	seen := map[string]bool{}
+	for _, inst := range c {
+		if seen[inst.Name] {
+			t.Fatalf("duplicate name %s", inst.Name)
+		}
+		seen[inst.Name] = true
+		if err := inst.Tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAssemblyCorpusSmall(t *testing.T) {
+	opt := AssemblyCorpusOptions{
+		Grids2D:       []int{10},
+		Grids3D:       []int{5},
+		RandomN:       []int{200},
+		Bands:         [][2]int{{500, 2}},
+		Amalgamations: []int{1, 6},
+	}
+	c, err := AssemblyCorpus(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 8 {
+		t.Fatalf("corpus size %d, want 8", len(c))
+	}
+	for _, inst := range c {
+		if err := inst.Tree.Validate(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if inst.Tree.Len() < 2 {
+			t.Fatalf("%s: degenerate tree", inst.Name)
+		}
+	}
+}

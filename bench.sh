@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh — run the headline performance benchmarks and emit
+# BENCH_sweep.json: the figure-suite wall-clock (fig2+fig3+fig4 through
+# the shared sweep engine), MemBooking's per-event scheduling overhead
+# (the paper's §5.1 "below 1ms per node" claim), and the
+# MinMemPostOrder traversal cost at 100k nodes. Values are nanoseconds.
+set -eu
+
+cd "$(dirname "$0")"
+out=BENCH_sweep.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder' \
+	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
+
+awk '
+$1 ~ /^BenchmarkFigSuite$/ { suite=$3 }
+$1 ~ /^BenchmarkMemBookingPerEvent\/n100k/ { pernode=$5 }
+$1 ~ /^BenchmarkMinMemPostOrder/ { minmem=$3 }
+END {
+	printf "{\n"
+	printf "  \"fig_suite_ns\": %s,\n", (suite == "" ? "null" : suite)
+	printf "  \"sched_ns_per_node\": %s,\n", (pernode == "" ? "null" : pernode)
+	printf "  \"minmem_postorder_ns\": %s\n", (minmem == "" ? "null" : minmem)
+	printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -84,6 +84,32 @@ func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
 func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
 
+// BenchmarkFigSuite measures the shared sweep engine on the figure trio
+// that sweeps the same (instance, heuristic, factor) grid: fig2 computes
+// every cell, fig3 and fig4 are pure cache reads. The Serial variant
+// pins the engine to one worker; the ratio is the worker-pool speedup.
+func BenchmarkFigSuite(b *testing.B)       { benchFigSuite(b, 0) }
+func BenchmarkFigSuiteSerial(b *testing.B) { benchFigSuite(b, 1) }
+
+func benchFigSuite(b *testing.B, workers int) {
+	b.Helper()
+	benchConfig(b) // build the shared corpora outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b)
+		cfg.Workers = workers
+		for _, id := range []string{"fig2", "fig3", "fig4"} {
+			tab, err := harness.Run(id, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				b.Fatalf("%s produced no rows", id)
+			}
+		}
+	}
+}
+
 func BenchmarkLowerBoundStats(b *testing.B) { benchExperiment(b, "lb") }
 func BenchmarkRedTreeFailures(b *testing.B) { benchExperiment(b, "redfail") }
 func BenchmarkAvgMemOrder(b *testing.B)     { benchExperiment(b, "avgmem") }

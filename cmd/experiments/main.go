@@ -8,9 +8,18 @@
 //	experiments -exp fig2                  # one experiment, default scale
 //	experiments -exp all -scale full       # everything, paper-scale corpora
 //	experiments -exp fig9 -p 8 -seed 3 -o out/
+//	experiments -exp all -parallel=false   # serial sweep engine
 //
 // -scale quick uses miniature corpora (seconds), -scale default a few
 // dozen medium trees (minutes), -scale full the large corpora (longer).
+//
+// All experiments run through one shared sweep engine (see
+// internal/harness/sweep.go): the simulation cells of every figure are
+// deduplicated and memoized, so `-exp all` computes each (instance,
+// heuristic, memory-factor) cell exactly once even though fig2/fig3/fig4
+// (and fig10/fig11/fig12) sweep the same grid. -parallel (the default)
+// evaluates cells on a GOMAXPROCS-wide worker pool; the output is
+// byte-identical to the serial path.
 package main
 
 import (
@@ -26,12 +35,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all' (ids: "+fmt.Sprint(harness.IDs())+")")
-		scale   = flag.String("scale", "default", "corpus scale: quick, default, full")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		procs   = flag.Int("p", 8, "default processor count")
-		outDir  = flag.String("o", "", "write each table to <dir>/<id>.tsv instead of stdout")
-		verbose = flag.Bool("v", false, "progress output on stderr")
+		exp      = flag.String("exp", "all", "experiment id or 'all' (ids: "+fmt.Sprint(harness.IDs())+")")
+		scale    = flag.String("scale", "default", "corpus scale: quick, default, full")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		procs    = flag.Int("p", 8, "default processor count")
+		outDir   = flag.String("o", "", "write each table to <dir>/<id>.tsv instead of stdout")
+		verbose  = flag.Bool("v", false, "progress output on stderr")
+		parallel = flag.Bool("parallel", true, "evaluate sweep cells on a GOMAXPROCS-wide worker pool (deterministic)")
 	)
 	flag.Parse()
 
@@ -39,6 +49,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
+	}
+	if !*parallel {
+		cfg.Workers = 1
 	}
 	if *verbose {
 		cfg.Verbose = os.Stderr
@@ -80,6 +93,12 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if *verbose {
+		st := cfg.Engine().Stats()
+		fmt.Fprintf(os.Stderr,
+			"sweep engine: %d cells requested, %d served from cache, %d simulated (%d trees prepared, %d reused)\n",
+			st.CellsRequested, st.CellHits, st.CellsComputed, st.PrepComputed, st.PrepRequested-st.PrepComputed)
 	}
 }
 

@@ -28,6 +28,18 @@
 //	res, _ := repro.Simulate(tr, 8, sched, 2*peak)
 //	fmt.Println(res.Makespan)
 //
+// All experiments run through a shared sweep engine
+// (internal/harness/sweep.go): the simulation cells (instance ×
+// heuristic × memory factor) of every figure are planned, deduplicated
+// and memoized per Config, and evaluated on a GOMAXPROCS-wide worker
+// pool with deterministic, serial-identical output. Regenerate every
+// figure in one deduplicated pass with
+//
+//	go run ./cmd/experiments -exp all -o out/
+//
+// (add -parallel=false to force serial evaluation; see DESIGN.md for
+// the architecture and the experiment-ID index).
+//
 // See examples/ for runnable programs and cmd/experiments for the
 // reproduction of every figure of the paper.
 package repro

@@ -33,6 +33,7 @@ type Activation struct {
 	active   []bool
 	avail    *pqueue.RankHeap
 	eps      float64
+	selbuf   []tree.NodeID // reusable Select result buffer
 }
 
 // NewActivation builds the Activation scheduler. ao must be topological.
@@ -52,17 +53,34 @@ func (s *Activation) Name() string { return "Activation" }
 // BookedMemory implements core.Scheduler.
 func (s *Activation) BookedMemory() float64 { return s.mbooked }
 
-// Init implements core.Scheduler.
+// Init implements core.Scheduler. Calling it again after a run rebuilds
+// the state in place, reusing the O(n) slices and the heap.
 func (s *Activation) Init() error {
 	n := s.t.Len()
-	s.chNotFin = make([]int32, n)
-	s.active = make([]bool, n)
-	s.avail = pqueue.NewRankHeap(s.eo.Rank())
+	if s.chNotFin == nil {
+		s.chNotFin = make([]int32, n)
+		s.active = make([]bool, n)
+		s.avail = pqueue.NewRankHeap(nil)
+	}
+	s.avail.Reset(s.eo.Rank())
+	s.mbooked = 0
+	s.aoIdx = 0
 	s.eps = 1e-9 * (1 + math.Abs(s.m))
 	for i := 0; i < n; i++ {
 		s.chNotFin[i] = int32(s.t.Degree(tree.NodeID(i)))
+		s.active[i] = false
 	}
 	s.tryActivate()
+	return nil
+}
+
+// Reset rebinds the scheduler to a new memory bound so the same instance
+// can be re-run without reallocating; the next Init rebuilds the state.
+func (s *Activation) Reset(m float64) error {
+	if m < 0 || math.IsNaN(m) {
+		return fmt.Errorf("activation: invalid memory bound %v", m)
+	}
+	s.m = m
 	return nil
 }
 
@@ -108,10 +126,11 @@ func (s *Activation) Select(free int) []tree.NodeID {
 	if free <= 0 || s.avail.Len() == 0 {
 		return nil
 	}
-	out := make([]tree.NodeID, 0, free)
+	out := s.selbuf[:0]
 	for free > 0 && s.avail.Len() > 0 {
 		out = append(out, tree.NodeID(s.avail.Pop()))
 		free--
 	}
+	s.selbuf = out
 	return out
 }

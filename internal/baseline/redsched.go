@@ -44,6 +44,7 @@ type MemBookingRedTree struct {
 	active   []bool
 	avail    *pqueue.RankHeap
 	eps      float64
+	selbuf   []tree.NodeID // reusable Select result buffer
 }
 
 // NewMemBookingRedTree builds the scheduler from the original tree and
@@ -96,10 +97,19 @@ func (s *MemBookingRedTree) BookedMemory() float64 { return s.mbooked }
 
 // Init implements core.Scheduler: computes the static booking plan
 // (Book, A, capacities and transmissions Up) and activates the first
-// nodes.
+// nodes. The plan depends only on the tree, so calling Init again after
+// a run (or a Reset to a new bound) keeps it and rebuilds only the run
+// state, in place.
 func (s *MemBookingRedTree) Init() error {
 	rt := s.red.Tree
 	n := rt.Len()
+	// Reuse only when a previous Init completed: chNotFin is allocated
+	// after the (fallible) plan computation, so a failed first Init does
+	// not leave a half-built scheduler behind the reuse guard.
+	if s.chNotFin != nil {
+		s.reinit()
+		return nil
+	}
 	book := make([]float64, n)
 	s.a = make([]float64, n)
 	s.up = make([]float64, n)
@@ -161,13 +171,35 @@ func (s *MemBookingRedTree) Init() error {
 
 	s.chNotFin = make([]int32, n)
 	s.active = make([]bool, n)
-	s.avail = pqueue.NewRankHeap(s.eoRank)
+	s.avail = pqueue.NewRankHeap(nil)
+	s.reinit()
+	return nil
+}
+
+// reinit rebuilds the per-run state, reusing the allocated slices and
+// the static plan.
+func (s *MemBookingRedTree) reinit() {
+	rt := s.red.Tree
+	s.avail.Reset(s.eoRank)
+	s.mbooked = 0
+	s.aoIdx = 0
 	s.eps = 1e-9 * (1 + math.Abs(s.m))
-	for i := 0; i < n; i++ {
+	for i := 0; i < rt.Len(); i++ {
 		s.chNotFin[i] = int32(rt.Degree(tree.NodeID(i)))
+		s.active[i] = false
 		s.pool[i] = 0
 	}
 	s.tryActivate()
+}
+
+// Reset rebinds the scheduler to a new memory bound so the same instance
+// can be re-run without recomputing the plan or reallocating; the next
+// Init rebuilds the run state.
+func (s *MemBookingRedTree) Reset(m float64) error {
+	if m < 0 || math.IsNaN(m) {
+		return fmt.Errorf("redtree: invalid memory bound %v", m)
+	}
+	s.m = m
 	return nil
 }
 
@@ -218,10 +250,11 @@ func (s *MemBookingRedTree) Select(free int) []tree.NodeID {
 	if free <= 0 || s.avail.Len() == 0 {
 		return nil
 	}
-	out := make([]tree.NodeID, 0, free)
+	out := s.selbuf[:0]
 	for free > 0 && s.avail.Len() > 0 {
 		out = append(out, tree.NodeID(s.avail.Pop()))
 		free--
 	}
+	s.selbuf = out
 	return out
 }

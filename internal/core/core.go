@@ -37,7 +37,9 @@ type Scheduler interface {
 	// call completed at the same time instant.
 	OnFinish(batch []tree.NodeID)
 	// Select returns at most free tasks to start now. Returned tasks are
-	// running from the engine's point of view.
+	// running from the engine's point of view. The returned slice may be
+	// reused by the scheduler: it is only valid until the next Select
+	// call, and engines must consume it before asking again.
 	Select(free int) []tree.NodeID
 	// BookedMemory returns the total memory currently booked.
 	BookedMemory() float64
@@ -75,6 +77,7 @@ type MemBooking struct {
 	cand      *pqueue.RankHeap
 	actf      *pqueue.RankHeap
 	remaining int
+	selbuf    []tree.NodeID // reusable Select result buffer
 
 	// eps is the tolerance for the memory-bound comparison so that
 	// booking exactly M survives floating-point rounding.
@@ -139,21 +142,33 @@ func (s *MemBooking) ReleaseTransient(amount float64) {
 }
 
 // Init implements Scheduler: it sets every leaf as a candidate and runs
-// the first activation round.
+// the first activation round. Init may be called again after a run (and
+// after an optional Reset to a new bound): the second and later calls
+// rebuild the run state in place, reusing the seven O(n) slices and the
+// two heaps, so re-running a scheduler allocates nothing.
 func (s *MemBooking) Init() error {
 	n := s.t.Len()
-	s.need = s.t.MemNeededAll()
-	s.booked = make([]float64, n)
-	s.bbs = make([]float64, n)
-	s.state = make([]uint8, n)
-	s.chNotAct = make([]int32, n)
-	s.chNotFin = make([]int32, n)
-	s.cand = pqueue.NewRankHeap(s.ao.Rank())
-	s.actf = pqueue.NewRankHeap(s.eo.Rank())
+	if s.need == nil {
+		s.need = s.t.MemNeededAll()
+		s.booked = make([]float64, n)
+		s.bbs = make([]float64, n)
+		s.state = make([]uint8, n)
+		s.chNotAct = make([]int32, n)
+		s.chNotFin = make([]int32, n)
+		s.cand = pqueue.NewRankHeap(nil)
+		s.actf = pqueue.NewRankHeap(nil)
+	}
+	s.cand.Reset(s.ao.Rank())
+	s.actf.Reset(s.eo.Rank())
+	s.mbooked = 0
+	s.transient = 0
 	s.remaining = n
 	s.eps = 1e-9 * (1 + math.Abs(s.m))
+	s.InvariantErr = nil
 	for i := 0; i < n; i++ {
+		s.booked[i] = 0
 		s.bbs[i] = -1
+		s.state[i] = stateUN
 		d := int32(s.t.Degree(tree.NodeID(i)))
 		s.chNotAct[i] = d
 		s.chNotFin[i] = d
@@ -164,6 +179,18 @@ func (s *MemBooking) Init() error {
 	}
 	s.updateCandAct()
 	s.check()
+	return nil
+}
+
+// Reset rebinds the scheduler to a new memory bound, keeping the tree
+// and orders, so the same instance can be re-run without reallocating
+// its O(n) state. The next Init call (the engine makes it) rebuilds the
+// run state in place.
+func (s *MemBooking) Reset(m float64) error {
+	if m < 0 || math.IsNaN(m) {
+		return fmt.Errorf("membooking: invalid memory bound %v", m)
+	}
+	s.m = m
 	return nil
 }
 
@@ -265,13 +292,14 @@ func (s *MemBooking) Select(free int) []tree.NodeID {
 	if free <= 0 || s.actf.Len() == 0 {
 		return nil
 	}
-	out := make([]tree.NodeID, 0, free)
+	out := s.selbuf[:0]
 	for free > 0 && s.actf.Len() > 0 {
 		i := tree.NodeID(s.actf.Pop())
 		s.state[i] = stateRUN
 		out = append(out, i)
 		free--
 	}
+	s.selbuf = out
 	return out
 }
 

@@ -19,7 +19,7 @@ func ablationStudy(cfg *Config) (*Table, error) {
 		Title: "MemBooking design ablations: dispatch policy and lazy BookedBySubtree",
 		Header: []string{"mem_factor", "variant", "norm_makespan_mean",
 			"completed_fraction", "sched_seconds_total"}}
-	prep := prepare(cfg.assembly())
+	prep := cfg.prepare(cfg.assembly())
 	p := cfg.procs()
 	variants := []struct {
 		name      string
@@ -43,7 +43,7 @@ func ablationStudy(cfg *Config) (*Table, error) {
 				}
 				s.SetDispatch(v.dispatch)
 				s.SetRecomputeBBS(v.recompute)
-				res, err := sim.Run(pr.inst.Tree, p, s, &sim.Options{CheckMemory: true, Bound: m})
+				res, err := sim.Run(pr.inst.Tree, p, s, cfg.simOpts(m, true))
 				if err != nil {
 					if _, dead := err.(*sim.ErrDeadlock); dead {
 						continue
@@ -51,7 +51,7 @@ func ablationStudy(cfg *Config) (*Table, error) {
 					return nil, fmt.Errorf("ablation %s on %s: %w", v.name, pr.inst.Name, err)
 				}
 				done++
-				vals = append(vals, normalize(pr.inst.Tree, p, m, res.Makespan))
+				vals = append(vals, cfg.normalize(pr.inst.Tree, p, m, res.Makespan))
 				total += res.SchedTime.Seconds()
 			}
 			frac := float64(done) / float64(len(prep))

@@ -19,7 +19,7 @@ func distStudy(cfg *Config) (*Table, error) {
 		Title: "distributed domains (§8 extension): makespan vs domain count, assembly trees",
 		Header: []string{"domains", "mem_factor", "norm_makespan_mean",
 			"completed_fraction", "transfer_volume_mean"}}
-	prep := prepare(cfg.assembly())
+	prep := cfg.prepare(cfg.assembly())
 	totalProcs := cfg.procs()
 	for _, nd := range []int{1, 2, 4} {
 		procsPer := totalProcs / nd
@@ -42,7 +42,7 @@ func distStudy(cfg *Config) (*Table, error) {
 					return nil, fmt.Errorf("dist on %s: %w", pr.inst.Name, err)
 				}
 				done++
-				vals = append(vals, normalize(pr.inst.Tree, totalProcs, factor*pr.peak, res.Makespan))
+				vals = append(vals, cfg.normalize(pr.inst.Tree, totalProcs, factor*pr.peak, res.Makespan))
 				vols = append(vols, res.TransferVolume)
 			}
 			frac := float64(done) / float64(len(prep))

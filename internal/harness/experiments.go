@@ -13,6 +13,13 @@ import (
 	"repro/internal/workload"
 )
 
+// Every sweep below runs in two passes over the same loop structure:
+// the first plans the experiment's simulation cells into the Config's
+// sweep engine (which deduplicates them against everything already
+// computed and evaluates the misses on its worker pool), the second
+// reads the memoized outcomes back in deterministic order to assemble
+// the table. See sweep.go.
+
 // makespanSweep implements Figures 2 and 10: average normalised makespan
 // of the three heuristics as a function of the normalised memory bound.
 // Following the paper, a heuristic's average is only reported when it
@@ -20,15 +27,24 @@ import (
 func makespanSweep(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"mem_factor", "heuristic", "norm_makespan_mean", "completed_fraction", "trees"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
+	for _, factor := range cfg.factors() {
+		for _, heur := range AllHeuristics {
+			for _, pr := range prep {
+				pl.want(pr, heur, p, factor, pr.ao, pr.ao, false)
+			}
+		}
+	}
+	pl.run()
 	for _, factor := range cfg.factors() {
 		for _, heur := range AllHeuristics {
 			var vals []float64
 			done := 0
 			for _, pr := range prep {
 				m := factor * pr.peak
-				out, err := runOne(pr.inst.Tree, heur, p, m, pr.ao, pr.ao)
+				out, err := pl.get(pr, heur, p, factor, pr.ao, pr.ao)
 				if err != nil {
 					return nil, fmt.Errorf("%s on %s: %w", heur, pr.inst.Name, err)
 				}
@@ -36,7 +52,7 @@ func makespanSweep(id, title string, insts []workload.Instance, cfg *Config) (*T
 					continue
 				}
 				done++
-				vals = append(vals, normalize(pr.inst.Tree, p, m, out.makespan))
+				vals = append(vals, cfg.normalize(pr.inst.Tree, p, m, out.makespan))
 			}
 			frac := float64(done) / float64(len(prep))
 			mean := "NA"
@@ -58,17 +74,24 @@ func makespanSweep(id, title string, insts []workload.Instance, cfg *Config) (*T
 func speedupSweep(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"mem_factor", "speedup_mean", "speedup_median", "d1", "d9", "min", "max", "pairs"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
+	for _, factor := range cfg.factors() {
+		for _, pr := range prep {
+			pl.want(pr, HeurActivation, p, factor, pr.ao, pr.ao, false)
+			pl.want(pr, HeurMemBooking, p, factor, pr.ao, pr.ao, false)
+		}
+	}
+	pl.run()
 	for _, factor := range cfg.factors() {
 		var sp []float64
 		for _, pr := range prep {
-			m := factor * pr.peak
-			a, err := runOne(pr.inst.Tree, HeurActivation, p, m, pr.ao, pr.ao)
+			a, err := pl.get(pr, HeurActivation, p, factor, pr.ao, pr.ao)
 			if err != nil {
 				return nil, err
 			}
-			b, err := runOne(pr.inst.Tree, HeurMemBooking, p, m, pr.ao, pr.ao)
+			b, err := pl.get(pr, HeurMemBooking, p, factor, pr.ao, pr.ao)
 			if err != nil {
 				return nil, err
 			}
@@ -88,15 +111,24 @@ func speedupSweep(id, title string, insts []workload.Instance, cfg *Config) (*Ta
 func memFractionSweep(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"mem_factor", "heuristic", "mem_used_fraction_mean", "booked_fraction_mean", "completed_fraction"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
+	for _, factor := range cfg.factors() {
+		for _, heur := range AllHeuristics {
+			for _, pr := range prep {
+				pl.want(pr, heur, p, factor, pr.ao, pr.ao, false)
+			}
+		}
+	}
+	pl.run()
 	for _, factor := range cfg.factors() {
 		for _, heur := range AllHeuristics {
 			var used, booked []float64
 			done := 0
 			for _, pr := range prep {
 				m := factor * pr.peak
-				out, err := runOne(pr.inst.Tree, heur, p, m, pr.ao, pr.ao)
+				out, err := pl.get(pr, heur, p, factor, pr.ao, pr.ao)
 				if err != nil {
 					return nil, err
 				}
@@ -119,12 +151,19 @@ func memFractionSweep(id, title string, insts []workload.Instance, cfg *Config) 
 func schedTimeBySize(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"tree", "nodes", "height", "heuristic", "sched_seconds"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
+	for _, pr := range prep {
+		for _, heur := range AllHeuristics {
+			pl.want(pr, heur, p, 2, pr.ao, pr.ao, true)
+		}
+	}
+	pl.run()
 	for _, pr := range prep {
 		st := pr.inst.Tree.ComputeStats()
 		for _, heur := range AllHeuristics {
-			out, err := runOne(pr.inst.Tree, heur, p, 2*pr.peak, pr.ao, pr.ao)
+			out, err := pl.get(pr, heur, p, 2, pr.ao, pr.ao)
 			if err != nil {
 				return nil, err
 			}
@@ -142,12 +181,19 @@ func schedTimeBySize(id, title string, insts []workload.Instance, cfg *Config) (
 func schedTimePerNode(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"tree", "height", "nodes", "heuristic", "sched_seconds_per_node"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
+	for _, pr := range prep {
+		for _, heur := range AllHeuristics {
+			pl.want(pr, heur, p, 2, pr.ao, pr.ao, true)
+		}
+	}
+	pl.run()
 	for _, pr := range prep {
 		st := pr.inst.Tree.ComputeStats()
 		for _, heur := range AllHeuristics {
-			out, err := runOne(pr.inst.Tree, heur, p, 2*pr.peak, pr.ao, pr.ao)
+			out, err := pl.get(pr, heur, p, 2, pr.ao, pr.ao)
 			if err != nil {
 				return nil, err
 			}
@@ -166,15 +212,20 @@ func schedTimePerNode(id, title string, insts []workload.Instance, cfg *Config) 
 func speedupByHeight(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"tree", "height", "nodes", "speedup"}}
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
 	p := cfg.procs()
+	pl := cfg.plan()
 	for _, pr := range prep {
-		m := 2 * pr.peak
-		a, err := runOne(pr.inst.Tree, HeurActivation, p, m, pr.ao, pr.ao)
+		pl.want(pr, HeurActivation, p, 2, pr.ao, pr.ao, false)
+		pl.want(pr, HeurMemBooking, p, 2, pr.ao, pr.ao, false)
+	}
+	pl.run()
+	for _, pr := range prep {
+		a, err := pl.get(pr, HeurActivation, p, 2, pr.ao, pr.ao)
 		if err != nil {
 			return nil, err
 		}
-		b, err := runOne(pr.inst.Tree, HeurMemBooking, p, m, pr.ao, pr.ao)
+		b, err := pl.get(pr, HeurMemBooking, p, 2, pr.ao, pr.ao)
 		if err != nil {
 			return nil, err
 		}
@@ -203,28 +254,36 @@ func orderStudy(id, title string, insts []workload.Instance, cfg *Config) (*Tabl
 	t := &Table{ID: id, Title: title,
 		Header: []string{"mem_factor", "ao/eo", "norm_makespan_mean", "completed_fraction"}}
 	p := cfg.procs()
-	type pair struct{ ao, eo *order.Order }
-	// Precompute all orders per tree.
-	prep := prepare(insts)
+	prep := cfg.prepare(insts)
+	eng := cfg.Engine()
+	// All orders per tree, memoized in the engine across experiments.
 	cache := make([]map[string]*order.Order, len(prep))
 	for i, pr := range prep {
 		cache[i] = map[string]*order.Order{order.NameMemPO: pr.ao}
 		for _, name := range []string{order.NameCP, order.NameOptSeq, order.NamePerfPO} {
-			o, _, err := order.ByName(pr.inst.Tree, name)
+			o, err := eng.orderByName(pr.inst.Tree, name)
 			if err != nil {
 				return nil, err
 			}
 			cache[i][name] = o
 		}
 	}
+	pl := cfg.plan()
+	for _, factor := range cfg.factors() {
+		for _, combo := range orderCombos {
+			for i, pr := range prep {
+				pl.want(pr, HeurMemBooking, p, factor, cache[i][combo[0]], cache[i][combo[1]], false)
+			}
+		}
+	}
+	pl.run()
 	for _, factor := range cfg.factors() {
 		for _, combo := range orderCombos {
 			var vals []float64
 			done := 0
 			for i, pr := range prep {
 				m := factor * pr.peak
-				pa := pair{cache[i][combo[0]], cache[i][combo[1]]}
-				out, err := runOne(pr.inst.Tree, HeurMemBooking, p, m, pa.ao, pa.eo)
+				out, err := pl.get(pr, HeurMemBooking, p, factor, cache[i][combo[0]], cache[i][combo[1]])
 				if err != nil {
 					return nil, err
 				}
@@ -232,7 +291,7 @@ func orderStudy(id, title string, insts []workload.Instance, cfg *Config) (*Tabl
 					continue
 				}
 				done++
-				vals = append(vals, normalize(pr.inst.Tree, p, m, out.makespan))
+				vals = append(vals, cfg.normalize(pr.inst.Tree, p, m, out.makespan))
 			}
 			frac := float64(done) / float64(len(prep))
 			mean := "NA"
@@ -253,15 +312,27 @@ func orderStudy(id, title string, insts []workload.Instance, cfg *Config) (*Tabl
 func procSweep(id, title string, insts []workload.Instance, cfg *Config) (*Table, error) {
 	t := &Table{ID: id, Title: title,
 		Header: []string{"procs", "mem_factor", "heuristic", "norm_makespan_mean", "completed_fraction"}}
-	prep := prepare(insts)
-	for _, p := range []int{2, 4, 8, 16, 32} {
+	prep := cfg.prepare(insts)
+	procsList := []int{2, 4, 8, 16, 32}
+	pl := cfg.plan()
+	for _, p := range procsList {
+		for _, factor := range cfg.factors() {
+			for _, heur := range AllHeuristics {
+				for _, pr := range prep {
+					pl.want(pr, heur, p, factor, pr.ao, pr.ao, false)
+				}
+			}
+		}
+	}
+	pl.run()
+	for _, p := range procsList {
 		for _, factor := range cfg.factors() {
 			for _, heur := range AllHeuristics {
 				var vals []float64
 				done := 0
 				for _, pr := range prep {
 					m := factor * pr.peak
-					out, err := runOne(pr.inst.Tree, heur, p, m, pr.ao, pr.ao)
+					out, err := pl.get(pr, heur, p, factor, pr.ao, pr.ao)
 					if err != nil {
 						return nil, err
 					}
@@ -269,7 +340,7 @@ func procSweep(id, title string, insts []workload.Instance, cfg *Config) (*Table
 						continue
 					}
 					done++
-					vals = append(vals, normalize(pr.inst.Tree, p, m, out.makespan))
+					vals = append(vals, cfg.normalize(pr.inst.Tree, p, m, out.makespan))
 				}
 				frac := float64(done) / float64(len(prep))
 				mean := "NA"
@@ -297,7 +368,7 @@ func lbStats(cfg *Config) (*Table, error) {
 		name  string
 		insts []workload.Instance
 	}{{"assembly", cfg.assembly()}, {"synthetic", cfg.synthetic()}} {
-		prep := prepare(corpus.insts)
+		prep := cfg.prepare(corpus.insts)
 		for _, p := range []int{2, 8, 32} {
 			improved, total := 0, 0
 			var gains []float64
@@ -332,14 +403,23 @@ func lbStats(cfg *Config) (*Table, error) {
 func redTreeFailures(cfg *Config) (*Table, error) {
 	t := &Table{ID: "redfail", Title: "RedTree completion failures on synthetic trees (§7.4)",
 		Header: []string{"mem_factor", "heuristic", "failed_fraction"}}
-	prep := prepare(cfg.synthetic())
+	prep := cfg.prepare(cfg.synthetic())
 	p := cfg.procs()
-	for _, factor := range []float64{1, 1.1, 1.2, 1.3, 1.4, 1.6, 2, 3} {
+	factors := []float64{1, 1.1, 1.2, 1.3, 1.4, 1.6, 2, 3}
+	pl := cfg.plan()
+	for _, factor := range factors {
+		for _, heur := range AllHeuristics {
+			for _, pr := range prep {
+				pl.want(pr, heur, p, factor, pr.ao, pr.ao, false)
+			}
+		}
+	}
+	pl.run()
+	for _, factor := range factors {
 		for _, heur := range AllHeuristics {
 			failed := 0
 			for _, pr := range prep {
-				m := factor * pr.peak
-				out, err := runOne(pr.inst.Tree, heur, p, m, pr.ao, pr.ao)
+				out, err := pl.get(pr, heur, p, factor, pr.ao, pr.ao)
 				if err != nil {
 					return nil, err
 				}
@@ -359,18 +439,19 @@ func redTreeFailures(cfg *Config) (*Table, error) {
 func avgMemStudy(cfg *Config) (*Table, error) {
 	t := &Table{ID: "avgmem", Title: "average-memory postorder (Appendix A)",
 		Header: []string{"tree", "avgmem_memPO", "avgmem_avgPO", "ratio", "peak_memPO", "peak_avgPO"}}
-	for _, inst := range cfg.synthetic() {
-		memPO, peakPO := order.MinMemPostOrder(inst.Tree)
-		avgPO := order.AvgMemPostOrder(inst.Tree)
-		a1, err := order.AvgMemory(inst.Tree, memPO.Seq)
+	prep := cfg.prepare(cfg.synthetic())
+	for _, pr := range prep {
+		memPO, peakPO := pr.ao, pr.peak
+		avgPO := order.AvgMemPostOrder(pr.inst.Tree)
+		a1, err := order.AvgMemory(pr.inst.Tree, memPO.Seq)
 		if err != nil {
 			return nil, err
 		}
-		a2, err := order.AvgMemory(inst.Tree, avgPO.Seq)
+		a2, err := order.AvgMemory(pr.inst.Tree, avgPO.Seq)
 		if err != nil {
 			return nil, err
 		}
-		p2, err := order.PeakMemory(inst.Tree, avgPO.Seq)
+		p2, err := order.PeakMemory(pr.inst.Tree, avgPO.Seq)
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +459,7 @@ func avgMemStudy(cfg *Config) (*Table, error) {
 		if a1 > 0 {
 			ratio = a2 / a1
 		}
-		t.Add(inst.Name, a1, a2, ratio, peakPO, p2)
+		t.Add(pr.inst.Name, a1, a2, ratio, peakPO, p2)
 	}
 	return t, nil
 }
@@ -389,13 +470,13 @@ func memProfile(cfg *Config) (*Table, error) {
 	t := &Table{ID: "profile", Title: "memory usage over time on one assembly tree",
 		Header: []string{"heuristic", "time", "used", "booked"}}
 	insts := cfg.assembly()
-	pr := prepare(insts[:1])[0]
+	pr := cfg.prepare(insts[:1])[0]
 	m := 2 * pr.peak
 	for _, heur := range AllHeuristics {
 		heur := heur
 		var err error
 		var rows [][]string
-		opts := &sim.Options{CheckMemory: true, Bound: m,
+		opts := &sim.Options{CheckMemory: true, Bound: m, NoSchedTime: true,
 			MemTrace: func(at, used, booked float64) {
 				rows = append(rows, []string{heur,
 					fmt.Sprintf("%.6g", at), fmt.Sprintf("%.6g", used), fmt.Sprintf("%.6g", booked)})

@@ -9,12 +9,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/bounds"
-	"repro/internal/core"
 	"repro/internal/order"
 	"repro/internal/sim"
 	"repro/internal/tree"
@@ -46,8 +44,32 @@ type Config struct {
 	// Synthetic is the synthetic-tree corpus; nil selects a scaled-down
 	// default.
 	Synthetic []workload.Instance
+	// Workers is the sweep-engine worker-pool width: 0 selects
+	// GOMAXPROCS, 1 forces serial evaluation. Parallel evaluation is
+	// deterministic: it produces the same tables as the serial path.
+	Workers int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
+
+	// eng is the sweep engine shared by every experiment run through
+	// this Config; it memoizes preparations, orders, lower bounds and
+	// simulation cells (see sweep.go).
+	eng *Engine
+	// fakeSchedClock makes every SchedTime measurement deterministic;
+	// tests use it to compare timing columns byte-for-byte.
+	fakeSchedClock bool
+}
+
+// Engine returns the Config's sweep engine, creating it on first use.
+func (c *Config) Engine() *Engine {
+	if c.eng == nil {
+		w := c.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		c.eng = NewEngine(w, c.fakeSchedClock)
+	}
+	return c.eng
 }
 
 // Default returns the laptop-scale defaults used by the benchmarks.
@@ -148,20 +170,18 @@ func (t *Table) WriteTSV(w io.Writer) error {
 
 // prepared caches the per-tree artefacts shared by all runs: the memPO
 // activation order and its sequential peak (the "minimum memory" all
-// bounds are normalised by).
+// bounds are normalised by). The sweep engine memoizes them per tree
+// (see Engine.prepare).
 type prepared struct {
 	inst workload.Instance
 	ao   *order.Order
 	peak float64
 }
 
-func prepare(insts []workload.Instance) []prepared {
-	out := make([]prepared, len(insts))
-	for i, inst := range insts {
-		ao, peak := order.MinMemPostOrder(inst.Tree)
-		out[i] = prepared{inst: inst, ao: ao, peak: peak}
-	}
-	return out
+// prepare returns the prepared instances through the Config's engine,
+// so every experiment on the same Config shares the work.
+func (c *Config) prepare(insts []workload.Instance) []prepared {
+	return c.Engine().prepare(insts)
 }
 
 // outcome is the result of one (tree, heuristic, factor) simulation.
@@ -173,54 +193,20 @@ type outcome struct {
 	schedTime time.Duration
 }
 
-// runOne simulates one heuristic on one tree under memory bound m with
-// activation order ao and execution order eo. RedTree runs on its
-// transformed tree; all other metrics refer to the same memory bound.
-func runOne(tr *tree.Tree, heur string, p int, m float64, ao, eo *order.Order) (outcome, error) {
-	var (
-		s   core.Scheduler
-		run = tr
-		err error
-	)
-	switch heur {
-	case HeurActivation:
-		s, err = baseline.NewActivation(tr, m, ao, eo)
-	case HeurRedTree:
-		var rs *baseline.MemBookingRedTree
-		rs, err = baseline.NewMemBookingRedTree(tr, m, ao, eo)
-		if err == nil {
-			s, run = rs, rs.Tree()
-		}
-	case HeurMemBooking:
-		s, err = core.NewMemBooking(tr, m, ao, eo)
-	default:
-		err = fmt.Errorf("harness: unknown heuristic %q", heur)
-	}
-	if err != nil {
-		return outcome{}, err
-	}
-	res, err := sim.Run(run, p, s, &sim.Options{CheckMemory: true, Bound: m})
-	if err != nil {
-		if _, dead := err.(*sim.ErrDeadlock); dead {
-			return outcome{ok: false}, nil
-		}
-		return outcome{}, err
-	}
-	return outcome{
-		ok:        true,
-		makespan:  res.Makespan,
-		peakMem:   res.PeakMem,
-		booked:    res.PeakBooked,
-		schedTime: res.SchedTime,
-	}, nil
+// normalize returns the makespan divided by the best lower bound (the
+// maximum of the classical and the memory-aware bound of §6), memoized
+// per (tree, procs, bound) in the Config's engine.
+func (c *Config) normalize(tr *tree.Tree, p int, m, makespan float64) float64 {
+	return c.Engine().normalize(tr, p, m, makespan)
 }
 
-// normalize returns the makespan divided by the best lower bound (the
-// maximum of the classical and the memory-aware bound of §6).
-func normalize(tr *tree.Tree, p int, m, makespan float64) float64 {
-	lb, err := bounds.Best(tr, p, m)
-	if err != nil || lb == 0 {
-		return 1
+// simOpts builds the simulator options for runs made outside the sweep
+// engine. measureSched requests the SchedTime measurement (with the
+// deterministic test clock when the Config asks for one).
+func (c *Config) simOpts(m float64, measureSched bool) *sim.Options {
+	o := &sim.Options{CheckMemory: true, Bound: m, NoSchedTime: !measureSched}
+	if measureSched && c.fakeSchedClock {
+		o.Clock = newFakeClock()
 	}
-	return makespan / lb
+	return o
 }

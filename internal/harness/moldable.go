@@ -21,7 +21,7 @@ func moldableStudy(cfg *Config) (*Table, error) {
 		Title: "rigid vs moldable MemBooking (§8 extension) on assembly trees",
 		Header: []string{"mem_factor", "rigid_norm_makespan", "moldable_norm_makespan",
 			"moldable_speedup_mean", "wide_tasks_mean", "max_width_max"}}
-	prep := prepare(cfg.assembly())
+	prep := cfg.prepare(cfg.assembly())
 	p := cfg.procs()
 	for _, factor := range cfg.factors() {
 		var rigidVals, moldVals, speedups, wides []float64
@@ -45,8 +45,8 @@ func moldableStudy(cfg *Config) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("moldable on %s: %w", pr.inst.Name, err)
 			}
-			rigidVals = append(rigidVals, normalize(pr.inst.Tree, p, m, rres.Makespan))
-			moldVals = append(moldVals, normalize(pr.inst.Tree, p, m, mres.Makespan))
+			rigidVals = append(rigidVals, cfg.normalize(pr.inst.Tree, p, m, rres.Makespan))
+			moldVals = append(moldVals, cfg.normalize(pr.inst.Tree, p, m, mres.Makespan))
 			if mres.Makespan > 0 {
 				speedups = append(speedups, rres.Makespan/mres.Makespan)
 			}

@@ -24,32 +24,38 @@ func priceStudy(cfg *Config) (*Table, error) {
 	for _, corpus := range []struct {
 		name  string
 		insts []prepared
-	}{{"assembly", prepare(cfg.assembly())}, {"synthetic", prepare(cfg.synthetic())}} {
+	}{{"assembly", cfg.prepare(cfg.assembly())}, {"synthetic", cfg.prepare(cfg.synthetic())}} {
 		p := cfg.procs()
-		// Unbounded reference per tree.
+		// Unbounded reference per tree; the schedulers are kept and Reset
+		// for the bounded runs below, so each tree allocates state once.
 		ref := make([]float64, len(corpus.insts))
+		scheds := make([]*core.MemBooking, len(corpus.insts))
 		for i, pr := range corpus.insts {
-			eo := order.CriticalPathOrder(pr.inst.Tree)
+			eo, err := cfg.Engine().orderByName(pr.inst.Tree, order.NameCP)
+			if err != nil {
+				return nil, err
+			}
 			s, err := core.NewMemBooking(pr.inst.Tree, math.Inf(1), pr.ao, eo)
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(pr.inst.Tree, p, s, nil)
+			res, err := sim.Run(pr.inst.Tree, p, s, &sim.Options{NoSchedTime: true})
 			if err != nil {
 				return nil, fmt.Errorf("unbounded on %s: %w", pr.inst.Name, err)
 			}
 			ref[i] = res.Makespan
+			scheds[i] = s
 		}
+		var runner sim.Runner
 		for _, factor := range cfg.factors() {
 			var ratios []float64
 			for i, pr := range corpus.insts {
 				m := factor * pr.peak
-				eo := order.CriticalPathOrder(pr.inst.Tree)
-				s, err := core.NewMemBooking(pr.inst.Tree, m, pr.ao, eo)
-				if err != nil {
+				s := scheds[i]
+				if err := s.Reset(m); err != nil {
 					return nil, err
 				}
-				res, err := sim.Run(pr.inst.Tree, p, s, &sim.Options{CheckMemory: true, Bound: m})
+				res, err := runner.Run(pr.inst.Tree, p, s, &sim.Options{CheckMemory: true, Bound: m, NoSchedTime: true})
 				if err != nil {
 					return nil, fmt.Errorf("bounded on %s: %w", pr.inst.Name, err)
 				}

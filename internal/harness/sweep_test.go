@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func tsvOf(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The parallel sweep engine must emit byte-identical tables to the
+// serial path for every registered experiment, including the wall-clock
+// columns (made deterministic by the fake scheduler clock). Both runs
+// use one Config across all experiments, exercising the cross-figure
+// cell cache on both paths.
+func TestParallelMatchesSerialAllExperiments(t *testing.T) {
+	serial := tinyConfig()
+	serial.Workers = 1
+	serial.fakeSchedClock = true
+	par := tinyConfig()
+	par.Workers = 4
+	par.fakeSchedClock = true
+	for _, id := range IDs() {
+		ts, err := Run(id, serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		tp, err := Run(id, par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if got, want := tsvOf(t, tp), tsvOf(t, ts); !bytes.Equal(got, want) {
+			t.Errorf("%s: parallel TSV differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, want, got)
+		}
+	}
+}
+
+// fig2, fig3 and fig4 sweep the same (instance, heuristic, factor) grid;
+// through the shared engine each cell must be simulated exactly once.
+func TestSweepSharesCellsAcrossFigures(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Run("fig2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	after2 := cfg.Engine().Stats()
+	wantCells := len(cfg.MemFactors) * len(AllHeuristics) * len(cfg.Assembly)
+	if after2.CellsComputed != wantCells {
+		t.Fatalf("fig2 simulated %d cells, want %d", after2.CellsComputed, wantCells)
+	}
+	if after2.CellHits != 0 {
+		t.Fatalf("fig2 on a fresh engine had %d cache hits, want 0", after2.CellHits)
+	}
+	if _, err := Run("fig3", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("fig4", cfg); err != nil {
+		t.Fatal(err)
+	}
+	after4 := cfg.Engine().Stats()
+	if after4.CellsComputed != after2.CellsComputed {
+		t.Errorf("fig3+fig4 re-simulated %d cells that fig2 already computed",
+			after4.CellsComputed-after2.CellsComputed)
+	}
+	// fig3 requests 2 heuristics per (factor, instance), fig4 all 3; every
+	// one of those requests must be a cache hit.
+	wantHits := len(cfg.MemFactors)*2*len(cfg.Assembly) + wantCells
+	if got := after4.CellHits - after2.CellHits; got != wantHits {
+		t.Errorf("fig3+fig4 hit the cache %d times, want %d", got, wantHits)
+	}
+	// The per-instance preparation must have been computed once per tree.
+	if after4.PrepComputed != len(cfg.Assembly) {
+		t.Errorf("prepared %d trees, want %d", after4.PrepComputed, len(cfg.Assembly))
+	}
+}
+
+// A timed request after an untimed run of the same cell must re-simulate
+// (to measure SchedTime); a later untimed request is then served by the
+// timed entry.
+func TestSweepTimedUpgrade(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Run("fig2", cfg); err != nil { // untimed cells, factor 2 included
+		t.Fatal(err)
+	}
+	before := cfg.Engine().Stats()
+	if _, err := Run("fig5", cfg); err != nil { // timed cells at factor 2
+		t.Fatal(err)
+	}
+	mid := cfg.Engine().Stats()
+	upgraded := len(AllHeuristics) * len(cfg.Assembly)
+	if got := mid.CellsComputed - before.CellsComputed; got != upgraded {
+		t.Errorf("fig5 simulated %d cells, want %d (timed upgrades)", got, upgraded)
+	}
+	if _, err := Run("fig7", cfg); err != nil { // untimed, factor 2, 2 heuristics
+		t.Fatal(err)
+	}
+	after := cfg.Engine().Stats()
+	if got := after.CellsComputed - mid.CellsComputed; got != 0 {
+		t.Errorf("fig7 re-simulated %d cells despite timed entries being cached", got)
+	}
+}
+
+// Re-running a scheduler through the reusable sim.Runner must not
+// allocate per run: Init rebuilds the state in place and the runner
+// reuses its event heap and batch buffer.
+func TestReRunAllocations(t *testing.T) {
+	inst := workload.SyntheticCorpus(3, 1, []int{2000})[0]
+	ao, peak := order.MinMemPostOrder(inst.Tree)
+	s, err := core.NewMemBooking(inst.Tree, 2*peak, ao, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r sim.Runner
+	run := func() {
+		if _, err := r.Run(inst.Tree, 8, s, &sim.Options{NoSchedTime: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up: first run allocates the O(n) state
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := s.Reset(2 * peak); err != nil {
+			t.Fatal(err)
+		}
+		run()
+	})
+	// The Result struct and the closures in Run are the only survivors.
+	if allocs > 8 {
+		t.Errorf("re-run allocated %.0f objects per run, want ≤ 8", allocs)
+	}
+}
+
+// The deterministic grids must also hold across two independent engines
+// with freshly generated (but same-seed) corpora: the memo key is
+// content-derived, not dependent on evaluation order.
+func TestSweepDeterministicAcrossEngines(t *testing.T) {
+	a := tinyConfig()
+	b := tinyConfig()
+	b.Workers = 3
+	ta, err := Run("fig9", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Run("fig9", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tsvOf(t, ta), tsvOf(t, tb)) {
+		t.Error("fig9 differs between two independently-built configs")
+	}
+}

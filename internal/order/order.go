@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/tree"
 )
@@ -35,18 +36,21 @@ type Order struct {
 	// Topological records whether Seq is a valid topological order.
 	Topological bool
 
-	rank []int32
+	rankOnce sync.Once
+	rank     []int32
 }
 
 // Rank returns the position of every task in the order; lower means
-// earlier (higher priority). The slice is cached and must not be modified.
+// earlier (higher priority). The slice is cached and must not be
+// modified. Rank is safe for concurrent use: orders are shared between
+// the sweep engine's workers.
 func (o *Order) Rank() []int32 {
-	if o.rank == nil {
+	o.rankOnce.Do(func() {
 		o.rank = make([]int32, len(o.Seq))
 		for i, v := range o.Seq {
 			o.rank[v] = int32(i)
 		}
-	}
+	})
 	return o.rank
 }
 
@@ -74,23 +78,45 @@ func IsTopological(t *tree.Tree, seq []tree.NodeID) bool {
 	return true
 }
 
-// postOrderSorted produces a postorder traversal where the children of
-// every node are visited by decreasing key.
-func postOrderSorted(t *tree.Tree, key []float64) []tree.NodeID {
+// childCSR copies the tree's child lists into a mutable CSR: the children
+// of node i occupy sorted[start[i]:start[i+1]]. Callers sort the per-node
+// segments in place.
+func childCSR(t *tree.Tree) (sorted []tree.NodeID, start []int32) {
 	n := t.Len()
-	// Sorted child lists in a CSR copy.
-	sorted := make([]tree.NodeID, 0, n)
-	start := make([]int32, n+1)
+	sorted = make([]tree.NodeID, 0, n)
+	start = make([]int32, n+1)
 	for i := 0; i < n; i++ {
-		kids := t.Children(tree.NodeID(i))
 		start[i] = int32(len(sorted))
-		sorted = append(sorted, kids...)
-		s := sorted[start[i]:]
-		sort.SliceStable(s, func(a, b int) bool { return key[s[a]] > key[s[b]] })
+		sorted = append(sorted, t.Children(tree.NodeID(i))...)
 	}
 	start[n] = int32(len(sorted))
+	return sorted, start
+}
 
-	ord := make([]tree.NodeID, 0, n)
+// sortByKeyDesc stably sorts ids by non-increasing key[id]. Child lists
+// are short in practice, so small segments use an insertion sort instead
+// of paying sort.SliceStable's interface indirection.
+func sortByKeyDesc(ids []tree.NodeID, key []float64) {
+	if len(ids) <= 16 {
+		for i := 1; i < len(ids); i++ {
+			v := ids[i]
+			k := key[v]
+			j := i - 1
+			for j >= 0 && key[ids[j]] < k {
+				ids[j+1] = ids[j]
+				j--
+			}
+			ids[j+1] = v
+		}
+		return
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return key[ids[a]] > key[ids[b]] })
+}
+
+// postOrderCSR traverses the tree in postorder visiting children in the
+// order given by the (already sorted) CSR child lists.
+func postOrderCSR(t *tree.Tree, sorted []tree.NodeID, start []int32) []tree.NodeID {
+	ord := make([]tree.NodeID, 0, t.Len())
 	type frame struct {
 		node tree.NodeID
 		next int32
@@ -111,6 +137,16 @@ func postOrderSorted(t *tree.Tree, key []float64) []tree.NodeID {
 	return ord
 }
 
+// postOrderSorted produces a postorder traversal where the children of
+// every node are visited by decreasing key.
+func postOrderSorted(t *tree.Tree, key []float64) []tree.NodeID {
+	sorted, start := childCSR(t)
+	for i := 0; i < t.Len(); i++ {
+		sortByKeyDesc(sorted[start[i]:start[i+1]], key)
+	}
+	return postOrderCSR(t, sorted, start)
+}
+
 // NaturalPostOrder returns the postorder visiting children in ID order.
 func NaturalPostOrder(t *tree.Tree) *Order {
 	return &Order{Name: "naturalPO", Seq: t.PostOrderNatural(), Topological: true}
@@ -124,11 +160,16 @@ func MinMemPostOrder(t *tree.Tree) (*Order, float64) {
 	n := t.Len()
 	peak := make([]float64, n) // P_i per subtree
 	key := make([]float64, n)  // P_i − f_i, the sort key
+	// Children are sorted once, in place in a shared CSR, during the
+	// bottom-up peak computation (the keys of v's children are final when
+	// v is reached); the traversal below reuses the sorted lists instead
+	// of sorting a second copy.
+	sorted, start := childCSR(t)
 	td := t.TopDown()
 	for i := n - 1; i >= 0; i-- {
 		v := td[i]
-		kids := append([]tree.NodeID(nil), t.Children(v)...)
-		sort.SliceStable(kids, func(a, b int) bool { return key[kids[a]] > key[kids[b]] })
+		kids := sorted[start[v]:start[v+1]]
+		sortByKeyDesc(kids, key)
 		acc := 0.0
 		p := 0.0
 		for _, c := range kids {
@@ -143,7 +184,7 @@ func MinMemPostOrder(t *tree.Tree) (*Order, float64) {
 		peak[v] = p
 		key[v] = p - t.Out(v)
 	}
-	o := &Order{Name: "memPO", Seq: postOrderSorted(t, key), Topological: true}
+	o := &Order{Name: "memPO", Seq: postOrderCSR(t, sorted, start), Topological: true}
 	return o, peak[t.Root()]
 }
 

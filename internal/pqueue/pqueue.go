@@ -24,6 +24,13 @@ func NewRankHeap(rank []int32) *RankHeap {
 // Len returns the number of queued items.
 func (h *RankHeap) Len() int { return len(h.items) }
 
+// Reset empties the heap and rebinds it to rank, keeping the item
+// storage for reuse.
+func (h *RankHeap) Reset(rank []int32) {
+	h.items = h.items[:0]
+	h.rank = rank
+}
+
 // Push inserts an item in O(log n).
 func (h *RankHeap) Push(x int32) {
 	h.items = append(h.items, x)
@@ -93,6 +100,12 @@ type EventHeap struct {
 
 // Len returns the number of pending events.
 func (h *EventHeap) Len() int { return len(h.ev) }
+
+// Reset empties the heap, keeping the event storage for reuse.
+func (h *EventHeap) Reset() {
+	h.ev = h.ev[:0]
+	h.seq = 0
+}
 
 // Push inserts an event at the given time.
 func (h *EventHeap) Push(time float64, id int32) {

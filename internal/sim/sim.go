@@ -27,6 +27,15 @@ type Options struct {
 	// MemTrace, when non-nil, receives (time, usedMemory, bookedMemory)
 	// after every event batch; used to plot memory profiles.
 	MemTrace func(t, used, booked float64)
+	// NoSchedTime disables the wall-clock measurement of the scheduler's
+	// decision time (Result.SchedTime stays zero). Measuring costs two
+	// time.Now calls per event batch, which dominates the simulator's own
+	// work on large sweeps; runs that do not report scheduling time
+	// should set it.
+	NoSchedTime bool
+	// Clock replaces time.Now for the SchedTime measurement; tests use it
+	// to make timing output deterministic. Ignored under NoSchedTime.
+	Clock func() time.Time
 }
 
 // Result summarises a simulated execution.
@@ -74,6 +83,21 @@ func (e *ErrDeadlock) Error() string {
 
 // Run simulates the execution of t on p processors driven by s.
 func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) {
+	return new(Runner).Run(t, p, s, opts)
+}
+
+// Runner runs simulations while reusing the event heap and batch buffer
+// across runs, so that repeated sweeps (one cell per run) allocate
+// nothing per cell beyond the Result. The zero value is ready to use. A
+// Runner is not safe for concurrent use; the sweep engine keeps one per
+// worker.
+type Runner struct {
+	events pqueue.EventHeap
+	batch  []tree.NodeID
+}
+
+// Run simulates the execution of t on p processors driven by s.
+func (r *Runner) Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -83,13 +107,24 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 	n := t.Len()
 	res := &Result{}
 
-	start := time.Now()
-	if err := s.Init(); err != nil {
+	wall := time.Now
+	if opts.Clock != nil {
+		wall = opts.Clock
+	}
+	measure := !opts.NoSchedTime
+
+	if measure {
+		start := wall()
+		if err := s.Init(); err != nil {
+			return nil, err
+		}
+		res.SchedTime += wall().Sub(start)
+	} else if err := s.Init(); err != nil {
 		return nil, err
 	}
-	res.SchedTime += time.Since(start)
 
-	var events pqueue.EventHeap
+	events := &r.events
+	events.Reset()
 	now := 0.0
 	used := 0.0 // model memory currently resident
 	free := p
@@ -133,9 +168,14 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 		return nil
 	}
 
-	st := time.Now()
+	var st time.Time
+	if measure {
+		st = wall()
+	}
 	first := s.Select(free)
-	res.SchedTime += time.Since(st)
+	if measure {
+		res.SchedTime += wall().Sub(st)
+	}
 	if err := launch(first); err != nil {
 		return nil, err
 	}
@@ -146,7 +186,7 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 		return nil, &ErrDeadlock{Scheduler: s.Name(), Finished: finished, Total: n, Booked: s.BookedMemory()}
 	}
 
-	var batch []tree.NodeID
+	batch := r.batch[:0]
 	for events.Len() > 0 {
 		now = events.Min().Time
 		batch = batch[:0]
@@ -154,6 +194,7 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 			ev := events.Pop()
 			batch = append(batch, tree.NodeID(ev.ID))
 		}
+		r.batch = batch // keep the grown buffer even on early-error returns
 		for _, j := range batch {
 			free++
 			running--
@@ -170,10 +211,14 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 				used -= t.Out(j)
 			}
 		}
-		st := time.Now()
+		if measure {
+			st = wall()
+		}
 		s.OnFinish(batch)
 		sel := s.Select(free)
-		res.SchedTime += time.Since(st)
+		if measure {
+			res.SchedTime += wall().Sub(st)
+		}
 		if err := launch(sel); err != nil {
 			return nil, err
 		}
@@ -184,6 +229,7 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 			return nil, &ErrDeadlock{Scheduler: s.Name(), Finished: finished, Total: n, Booked: s.BookedMemory()}
 		}
 	}
+	r.batch = batch
 	if finished != n {
 		return nil, fmt.Errorf("sim: finished %d of %d tasks", finished, n)
 	}

@@ -2,8 +2,10 @@
 # bench.sh — run the headline performance benchmarks and emit
 # BENCH_sweep.json: the figure-suite wall-clock (fig2+fig3+fig4 through
 # the shared sweep engine), MemBooking's per-event scheduling overhead
-# (the paper's §5.1 "below 1ms per node" claim), and the
-# MinMemPostOrder traversal cost at 100k nodes. Values are nanoseconds.
+# (the paper's §5.1 "below 1ms per node" claim), the MinMemPostOrder
+# traversal cost at 100k nodes, and the large-tree tier — per-scheduler
+# sched-ns/node from 10k to 1M nodes across random/chain/star/assembly
+# shapes (the Figures 5/6/13 flatness claim). Values are nanoseconds.
 set -eu
 
 cd "$(dirname "$0")"
@@ -11,18 +13,29 @@ out=BENCH_sweep.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder' \
+go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge' \
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
 awk '
+BEGIN { nlt = 0 }
 $1 ~ /^BenchmarkFigSuite$/ { suite=$3 }
 $1 ~ /^BenchmarkMemBookingPerEvent\/n100k/ { pernode=$5 }
 $1 ~ /^BenchmarkMinMemPostOrder/ { minmem=$3 }
+$1 ~ /^BenchmarkSchedPerEventLarge\// {
+	key=$1
+	sub(/^BenchmarkSchedPerEventLarge\//, "", key)
+	sub(/-[0-9]+$/, "", key)
+	ltk[nlt]=key; ltv[nlt]=$5; nlt++
+}
 END {
 	printf "{\n"
 	printf "  \"fig_suite_ns\": %s,\n", (suite == "" ? "null" : suite)
 	printf "  \"sched_ns_per_node\": %s,\n", (pernode == "" ? "null" : pernode)
-	printf "  \"minmem_postorder_ns\": %s\n", (minmem == "" ? "null" : minmem)
+	printf "  \"minmem_postorder_ns\": %s,\n", (minmem == "" ? "null" : minmem)
+	printf "  \"large_tier_sched_ns_per_node\": {\n"
+	for (i = 0; i < nlt; i++)
+		printf "    \"%s\": %s%s\n", ltk[i], ltv[i], (i < nlt-1 ? "," : "")
+	printf "  }\n"
 	printf "}\n"
 }' "$tmp" > "$out"
 

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -175,6 +176,143 @@ func BenchmarkRedTreePerEvent(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// The large-tree benchmark tier: per-event scheduling overhead of all
+// three schedulers on trees from 10k to 1M nodes, across the shapes that
+// stress different scheduler paths — random (the paper's distribution),
+// chains (maximum depth: the ALAP dispatch walk), stars (maximum fanout:
+// candidate-head accounting) and the biggest sparse-assembly instance of
+// the default corpus. bench.sh records every cell's sched-ns/node in
+// BENCH_sweep.json; the paper's flatness claim (Figures 5, 6, 13) is
+// that the number stays level as the size grows.
+
+// largeSpec lazily builds one tier instance; sub-benchmarks excluded by
+// -bench never pay for construction (the CI smoke run builds only the
+// 10k trees).
+type largeSpec struct {
+	name  string
+	build func() *tree.Tree
+}
+
+func largeSpecs() []largeSpec {
+	specs := []largeSpec{}
+	for _, n := range []int{10000, 100000, 1000000} {
+		n := n
+		specs = append(specs, largeSpec{"random/" + benchName(n), func() *tree.Tree {
+			return workload.MustSynthetic(workload.NewRNG(2024), workload.SyntheticOptions{Nodes: n})
+		}})
+	}
+	for _, n := range []int{10000, 1000000} {
+		n := n
+		specs = append(specs, largeSpec{"chain/" + benchName(n), func() *tree.Tree {
+			t, err := workload.Chain(workload.NewRNG(2025), n)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}})
+		specs = append(specs, largeSpec{"star/" + benchName(n), func() *tree.Tree {
+			t, err := workload.Star(workload.NewRNG(2026), n)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}})
+	}
+	specs = append(specs, largeSpec{"assembly/max", func() *tree.Tree {
+		// The biggest instance of workload.DefaultAssemblyCorpus: the
+		// 256×256 grid factored under nested dissection, amalgamation 1.
+		p, coords := sparse.Grid2D(256, 256)
+		perm := sparse.NestedDissection(coords, 8)
+		res, err := sparse.AssemblyTree(p, perm, &sparse.AssemblyOptions{Amalgamation: 1})
+		if err != nil {
+			panic(err)
+		}
+		return res.Tree
+	}})
+	return specs
+}
+
+// largePrepared caches built tier instances (tree + memPO order + peak)
+// across the scheduler sub-benchmarks that share them.
+type largePrepared struct {
+	t    *tree.Tree
+	ao   *order.Order
+	peak float64
+}
+
+var (
+	largeMu    sync.Mutex
+	largeCache = map[string]largePrepared{}
+)
+
+func largeInstance(spec largeSpec) largePrepared {
+	largeMu.Lock()
+	defer largeMu.Unlock()
+	if pr, ok := largeCache[spec.name]; ok {
+		return pr
+	}
+	t := spec.build()
+	ao, peak := order.MinMemPostOrder(t)
+	pr := largePrepared{t: t, ao: ao, peak: peak}
+	largeCache[spec.name] = pr
+	return pr
+}
+
+func BenchmarkSchedPerEventLarge(b *testing.B) {
+	for _, sched := range []string{"MemBooking", "Activation", "RedTree"} {
+		for _, spec := range largeSpecs() {
+			sched, spec := sched, spec
+			b.Run(sched+"/"+spec.name, func(b *testing.B) {
+				benchLargeCell(b, sched, spec)
+			})
+		}
+	}
+}
+
+func benchLargeCell(b *testing.B, sched string, spec largeSpec) {
+	inst := largeInstance(spec)
+	// One scheduler instance per cell, re-Init in place each run (the
+	// zero-allocation re-run contract the sweep engine relies on).
+	var (
+		s   core.Scheduler
+		run = inst.t
+		err error
+	)
+	switch sched {
+	case "MemBooking":
+		s, err = core.NewMemBooking(inst.t, 2*inst.peak, inst.ao, inst.ao)
+	case "Activation":
+		s, err = baseline.NewActivation(inst.t, 2*inst.peak, inst.ao, inst.ao)
+	case "RedTree":
+		// RedTree needs the larger factor the paper reports (it books
+		// fictitious data on transformed general trees).
+		var rt *baseline.MemBookingRedTree
+		rt, err = baseline.NewMemBookingRedTree(inst.t, 5*inst.peak, inst.ao, inst.ao)
+		if err == nil {
+			s, run = rt, rt.Tree()
+		}
+	default:
+		b.Fatalf("unknown scheduler %q", sched)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r sim.Runner
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(run, 8, s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.SchedTime
+	}
+	b.StopTimer()
+	// Per node of the simulated tree (RedTree runs on the transformed
+	// tree, which includes its fictitious leaves).
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N)/float64(run.Len()), "sched-ns/node")
 }
 
 func BenchmarkMinMemPostOrder(b *testing.B) {

@@ -9,6 +9,7 @@
 //	experiments -exp all -scale full       # everything, paper-scale corpora
 //	experiments -exp fig9 -p 8 -seed 3 -o out/
 //	experiments -exp all -parallel=false   # serial sweep engine
+//	experiments -exp fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -scale quick uses miniature corpora (seconds), -scale default a few
 // dozen medium trees (minutes), -scale full the large corpora (longer).
@@ -27,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -42,23 +45,65 @@ func main() {
 		outDir   = flag.String("o", "", "write each table to <dir>/<id>.tsv instead of stdout")
 		verbose  = flag.Bool("v", false, "progress output on stderr")
 		parallel = flag.Bool("parallel", true, "evaluate sweep cells on a GOMAXPROCS-wide worker pool (deterministic)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+	// run instead of inline code so error returns unwind through the
+	// deferred profile writers: an os.Exit here would leave the CPU
+	// profile unflushed — and a failing run is the one most worth
+	// profiling.
+	os.Exit(run(options{
+		exp: *exp, scale: *scale, seed: *seed, procs: *procs,
+		outDir: *outDir, verbose: *verbose, parallel: *parallel,
+		cpuProf: *cpuProf, memProf: *memProf,
+	}))
+}
 
-	cfg, err := configFor(*scale, *seed, *procs)
+// options carries the parsed flags into run.
+type options struct {
+	exp      string
+	scale    string
+	seed     uint64
+	procs    int
+	outDir   string
+	verbose  bool
+	parallel bool
+	cpuProf  string
+	memProf  string
+}
+
+func run(o options) int {
+	if o.cpuProf != "" {
+		stop, err := startCPUProfile(o.cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
+		defer stop()
+	}
+	if o.memProf != "" {
+		defer func() {
+			if err := writeHeapProfile(o.memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+
+	cfg, err := configFor(o.scale, o.seed, o.procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
+		return 2
 	}
-	if !*parallel {
+	if !o.parallel {
 		cfg.Workers = 1
 	}
-	if *verbose {
+	if o.verbose {
 		cfg.Verbose = os.Stderr
 	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	ids := []string{o.exp}
+	if o.exp == "all" {
 		ids = harness.IDs()
 	}
 	for _, id := range ids {
@@ -66,40 +111,70 @@ func main() {
 		tab, err := harness.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		if o.outDir != "" {
+			if err := os.MkdirAll(o.outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
-			f, err := os.Create(filepath.Join(*outDir, id+".tsv"))
+			f, err := os.Create(filepath.Join(o.outDir, id+".tsv"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			if err := tab.WriteTSV(f); err != nil {
+				f.Close()
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "%s: %d rows in %v -> %s\n",
 				id, len(tab.Rows), time.Since(start).Round(time.Millisecond),
-				filepath.Join(*outDir, id+".tsv"))
+				filepath.Join(o.outDir, id+".tsv"))
 		} else {
 			if err := tab.WriteTSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
 	}
-	if *verbose {
+	if o.verbose {
 		st := cfg.Engine().Stats()
 		fmt.Fprintf(os.Stderr,
 			"sweep engine: %d cells requested, %d served from cache, %d simulated (%d trees prepared, %d reused)\n",
 			st.CellsRequested, st.CellHits, st.CellsComputed, st.PrepComputed, st.PrepRequested-st.PrepComputed)
 	}
+	return 0
+}
+
+// startCPUProfile begins a CPU profile into path and returns the stop
+// function (flushes and closes the file).
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile writes a heap profile of the live data to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the profile shows live data
+	return pprof.WriteHeapProfile(f)
 }
 
 func configFor(scale string, seed uint64, procs int) (*harness.Config, error) {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestConfigForScales(t *testing.T) {
 	for _, scale := range []string{"quick", "default", "full"} {
@@ -31,5 +35,33 @@ func TestQuickScaleIsSmall(t *testing.T) {
 	}
 	if len(cfg.MemFactors) == 0 {
 		t.Fatal("quick scale has no memory factors")
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := startCPUProfile(cpu)
+	if err != nil {
+		// The test binary itself may be profiling (go test -cpuprofile);
+		// only one CPU profile can be active at a time.
+		t.Skipf("cannot start a CPU profile here: %v", err)
+	}
+	stop()
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := writeHeapProfile(mem); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if _, err := startCPUProfile(filepath.Join(dir, "missing", "cpu.pprof")); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
+	}
+	if err := writeHeapProfile(filepath.Join(dir, "missing", "mem.pprof")); err == nil {
+		t.Fatal("unwritable heap profile path accepted")
 	}
 }

@@ -34,11 +34,19 @@ type Activation struct {
 	avail    *pqueue.RankHeap
 	eps      float64
 	selbuf   []tree.NodeID // reusable Select result buffer
+
+	// Precomputed per-node booking amounts, shared by every run of this
+	// scheduler (they depend only on the tree): actNeed[i] = n_i + f_i is
+	// booked at activation, finFree[i] = n_i + Σ_children f_c is freed
+	// when i finishes. They make tryActivate and OnFinish single array
+	// reads instead of child-list walks.
+	actNeed []float64
+	finFree []float64
 }
 
 // NewActivation builds the Activation scheduler. ao must be topological.
 func NewActivation(t *tree.Tree, m float64, ao, eo *order.Order) (*Activation, error) {
-	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+	if !ao.TopologicalFor(t) {
 		return nil, fmt.Errorf("activation: activation order %q is not topological", ao.Name)
 	}
 	if len(eo.Seq) != t.Len() {
@@ -61,6 +69,19 @@ func (s *Activation) Init() error {
 		s.chNotFin = make([]int32, n)
 		s.active = make([]bool, n)
 		s.avail = pqueue.NewRankHeap(nil)
+		s.actNeed = make([]float64, n)
+		s.finFree = make([]float64, n)
+		for i := 0; i < n; i++ {
+			id := tree.NodeID(i)
+			s.actNeed[i] = s.t.Exec(id) + s.t.Out(id)
+			s.finFree[i] = s.t.Exec(id)
+		}
+		for i := 0; i < n; i++ {
+			id := tree.NodeID(i)
+			if p := s.t.Parent(id); p != tree.None {
+				s.finFree[p] += s.t.Out(id)
+			}
+		}
 	}
 	s.avail.Reset(s.eo.Rank())
 	s.mbooked = 0
@@ -88,7 +109,7 @@ func (s *Activation) Reset(m float64) error {
 func (s *Activation) tryActivate() {
 	for s.aoIdx < len(s.ao.Seq) {
 		i := s.ao.Seq[s.aoIdx]
-		needed := s.t.Exec(i) + s.t.Out(i)
+		needed := s.actNeed[i]
 		if s.mbooked+needed > s.m+s.eps {
 			return
 		}
@@ -106,11 +127,7 @@ func (s *Activation) tryActivate() {
 // the parent), then activation resumes.
 func (s *Activation) OnFinish(batch []tree.NodeID) {
 	for _, j := range batch {
-		freed := s.t.Exec(j)
-		for _, c := range s.t.Children(j) {
-			freed += s.t.Out(c)
-		}
-		s.mbooked -= freed
+		s.mbooked -= s.finFree[j]
 		if p := s.t.Parent(j); p != tree.None {
 			s.chNotFin[p]--
 			if s.chNotFin[p] == 0 && s.active[p] {

@@ -36,6 +36,7 @@ type MemBookingRedTree struct {
 
 	a    []float64 // A_i: booked at activation
 	up   []float64 // Up(i): kept booked for ancestors after i finishes
+	keep []float64 // f_i + Up(i): kept booked when i finishes
 	pool []float64 // booked memory attributed to i's completed children + A_i
 
 	mbooked  float64
@@ -51,7 +52,7 @@ type MemBookingRedTree struct {
 // orders expressed on the original tree; fictitious nodes are slotted
 // immediately before their parent in both orders.
 func NewMemBookingRedTree(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBookingRedTree, error) {
-	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+	if !ao.TopologicalFor(t) {
 		return nil, fmt.Errorf("redtree: activation order %q is not topological", ao.Name)
 	}
 	if len(eo.Seq) != t.Len() {
@@ -59,8 +60,18 @@ func NewMemBookingRedTree(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBoo
 	}
 	red := ToReductionTree(t)
 	s := &MemBookingRedTree{orig: t, red: red, m: m}
-	s.aoSeq = extendSeq(red, ao.Seq)
-	eoSeq := extendSeq(red, eo.Seq)
+	// One fictitious-child index serves both order extensions (the map
+	// this replaced was rebuilt per order and dominated construction on
+	// large trees).
+	fict := make([]tree.NodeID, red.Orig)
+	for i := range fict {
+		fict[i] = tree.None
+	}
+	for k, p := range red.FicParent {
+		fict[p] = tree.NodeID(red.Orig + k)
+	}
+	s.aoSeq = extendSeq(red, fict, ao.Seq)
+	eoSeq := extendSeq(red, fict, eo.Seq)
 	s.eoRank = make([]int32, red.Tree.Len())
 	for i, v := range eoSeq {
 		s.eoRank[v] = int32(i)
@@ -69,15 +80,12 @@ func NewMemBookingRedTree(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBoo
 }
 
 // extendSeq inserts every fictitious leaf immediately before its parent
-// in seq (a sequence over original node IDs).
-func extendSeq(red *RedTree, seq []tree.NodeID) []tree.NodeID {
-	fict := make(map[tree.NodeID]tree.NodeID, len(red.FicParent))
-	for k, p := range red.FicParent {
-		fict[p] = tree.NodeID(red.Orig + k)
-	}
+// in seq (a sequence over original node IDs). fict maps an original node
+// to its fictitious child (None if it has none).
+func extendSeq(red *RedTree, fict []tree.NodeID, seq []tree.NodeID) []tree.NodeID {
 	out := make([]tree.NodeID, 0, red.Tree.Len())
 	for _, v := range seq {
-		if f, ok := fict[v]; ok {
+		if f := fict[v]; f != tree.None {
 			out = append(out, f)
 		}
 		out = append(out, v)
@@ -113,6 +121,7 @@ func (s *MemBookingRedTree) Init() error {
 	book := make([]float64, n)
 	s.a = make([]float64, n)
 	s.up = make([]float64, n)
+	s.keep = make([]float64, n)
 	s.pool = make([]float64, n)
 	cap_ := make([]float64, n) // Σ A over subtree − f_i
 	td := rt.TopDown()
@@ -167,6 +176,9 @@ func (s *MemBookingRedTree) Init() error {
 		if need > 1e-9*(1+s.m) {
 			return fmt.Errorf("redtree: infeasible transmission plan at node %d (short by %g)", v, need)
 		}
+	}
+	for i := 0; i < n; i++ {
+		s.keep[i] = rt.Out(tree.NodeID(i)) + s.up[i]
 	}
 
 	s.chNotFin = make([]int32, n)
@@ -226,7 +238,7 @@ func (s *MemBookingRedTree) tryActivate() {
 func (s *MemBookingRedTree) OnFinish(batch []tree.NodeID) {
 	rt := s.red.Tree
 	for _, j := range batch {
-		keep := rt.Out(j) + s.up[j]
+		keep := s.keep[j]
 		freed := s.pool[j] - keep
 		if freed < 0 {
 			freed = 0

@@ -8,11 +8,14 @@ package core
 //     only what the unfinished part of its subtree cannot provide later;
 //     DispatchEager fills each ancestor's remaining need immediately,
 //     pinning memory high in the tree much earlier.
-//   - RecomputeBBS disables the §5.1 lazy-initialisation optimisation of
-//     BookedBySubtree: the missing memory of the activation head is
-//     recomputed from its children on every attempt, restoring the
-//     O(n·degree) re-evaluation cost the optimisation removes. Scheduling
-//     decisions are identical; only the overhead changes.
+//   - RecomputeBBS disables the incremental BookedBySubtree accounting
+//     (the lazy initialisation of §5.1 plus the cached childSum
+//     aggregate): the missing memory of the activation head is recomputed
+//     from a full child re-scan on every attempt, restoring the
+//     O(n·degree) re-evaluation cost the optimisations remove. Scheduling
+//     decisions are identical; only the overhead changes — which makes
+//     the re-scan the correctness oracle for the incremental path (see
+//     TestIncrementalBBSMatchesRescanOracle).
 type DispatchPolicy int
 
 const (

@@ -71,6 +71,15 @@ type MemBooking struct {
 	bbs     []float64 // BookedBySubtree[i]; -1 = not yet computed
 	mbooked float64   // Σ Booked
 
+	// childSum[i] caches Σ bbs[c] over the children c of i whose bbs is
+	// initialised (an uninitialised bbs counts as zero). Every mutation
+	// of bbs[c] — the ALAP dispatch walk, a task finishing, lazy
+	// initialisation and activation — goes through setBBS, which keeps
+	// the parent's aggregate in sync, so the candidate head's missing
+	// memory and the post-activation BookedBySubtree are O(1) reads
+	// instead of O(degree) child re-scans.
+	childSum []float64
+
 	state     []uint8
 	chNotAct  []int32 // children still in UN ∪ CAND
 	chNotFin  []int32 // children not finished
@@ -104,7 +113,7 @@ type MemBooking struct {
 // bound m, activation order ao (must be topological) and execution order
 // eo (any priority over the tasks).
 func NewMemBooking(t *tree.Tree, m float64, ao, eo *order.Order) (*MemBooking, error) {
-	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+	if !ao.TopologicalFor(t) {
 		return nil, fmt.Errorf("membooking: activation order %q is not topological", ao.Name)
 	}
 	if len(eo.Seq) != t.Len() {
@@ -152,6 +161,7 @@ func (s *MemBooking) Init() error {
 		s.need = s.t.MemNeededAll()
 		s.booked = make([]float64, n)
 		s.bbs = make([]float64, n)
+		s.childSum = make([]float64, n)
 		s.state = make([]uint8, n)
 		s.chNotAct = make([]int32, n)
 		s.chNotFin = make([]int32, n)
@@ -168,6 +178,7 @@ func (s *MemBooking) Init() error {
 	for i := 0; i < n; i++ {
 		s.booked[i] = 0
 		s.bbs[i] = -1
+		s.childSum[i] = 0
 		s.state[i] = stateUN
 		d := int32(s.t.Degree(tree.NodeID(i)))
 		s.chNotAct[i] = d
@@ -214,12 +225,16 @@ func (s *MemBooking) dispatchMemory(j tree.NodeID) {
 	b := s.booked[j]
 	s.booked[j] = 0
 	s.mbooked -= b
-	s.bbs[j] = 0
 
 	i := s.t.Parent(j)
 	if i == tree.None {
+		s.bbs[j] = 0
 		return
 	}
+	// j's subtree no longer books anything: fold its bbs (= Booked[j],
+	// all of j's children having finished) out of the parent's aggregate.
+	s.childSum[i] -= s.bbs[j]
+	s.bbs[j] = 0
 	s.chNotFin[i]--
 	if s.chNotFin[i] == 0 && s.state[i] == stateACT {
 		s.actf.Push(int32(i))
@@ -230,25 +245,61 @@ func (s *MemBooking) dispatchMemory(j tree.NodeID) {
 	s.mbooked += fj
 	b -= fj
 	// ALAP dispatch: hand each ancestor only what its remaining subtree
-	// cannot provide later.
+	// cannot provide later. The paper's policy is inlined on the fast
+	// path; the eager ablation goes through contribution.
+	alap := s.dispatch == DispatchALAP
 	for i != tree.None && s.bbs[i] != -1 && b > s.eps {
-		c := s.contribution(int32(i), b)
+		var c float64
+		if alap {
+			c = s.need[i] - (s.bbs[i] - b)
+			if c < 0 {
+				c = 0
+			} else if c > b {
+				c = b
+			}
+		} else {
+			c = s.contribution(int32(i), b)
+		}
 		s.booked[i] += c
 		s.mbooked += c
-		s.bbs[i] -= b - c
 		b -= c
-		i = s.t.Parent(i)
+		// b units of booking left i's subtree for good: keep bbs and the
+		// parent's aggregate consistent.
+		s.bbs[i] -= b
+		p := s.t.Parent(i)
+		if p != tree.None {
+			s.childSum[p] -= b
+		}
+		i = p
 	}
 	// Whatever is left of b is genuinely free memory.
 }
 
+// setBBS sets BookedBySubtree of i, keeping the parent's cached child
+// aggregate in sync (an uninitialised bbs of -1 counts as zero there).
+func (s *MemBooking) setBBS(i tree.NodeID, v float64) {
+	old := s.bbs[i]
+	if old == -1 {
+		old = 0
+	}
+	s.bbs[i] = v
+	if p := s.t.Parent(i); p != tree.None {
+		s.childSum[p] += v - old
+	}
+}
+
 // updateCandAct activates candidates in AO order while the missing memory
-// fits under the bound (Algorithm 6, lines 18–30).
+// fits under the bound (Algorithm 6, lines 18–30). With the incremental
+// childSum aggregate both BookedBySubtree evaluations are O(1); the
+// recomputeBBS ablation knob restores the full O(degree) child re-scan
+// (subtreeSum) as a correctness oracle for the incremental accounting.
 func (s *MemBooking) updateCandAct() {
 	for s.cand.Len() > 0 {
 		i := tree.NodeID(s.cand.Min())
-		if s.bbs[i] == -1 || s.recomputeBBS {
-			s.bbs[i] = s.subtreeSum(i)
+		if s.recomputeBBS {
+			s.setBBS(i, s.subtreeSum(i))
+		} else if s.bbs[i] == -1 {
+			s.setBBS(i, s.booked[i]+s.childSum[i])
 		}
 		missing := s.need[i] - s.bbs[i]
 		if missing < 0 {
@@ -260,7 +311,11 @@ func (s *MemBooking) updateCandAct() {
 		s.cand.Pop()
 		s.booked[i] += missing
 		s.mbooked += missing
-		s.bbs[i] = s.subtreeSum(i)
+		if s.recomputeBBS {
+			s.setBBS(i, s.subtreeSum(i))
+		} else {
+			s.setBBS(i, s.bbs[i]+missing)
+		}
 		s.state[i] = stateACT
 		if s.chNotFin[i] == 0 {
 			s.actf.Push(int32(i))
@@ -374,6 +429,17 @@ func (s *MemBooking) check() {
 			if got := s.subtreeSum(id); math.Abs(got-s.bbs[i]) > tol {
 				fail("Lemma 3(3): node %d bbs %v != Booked+Σchildren %v", i, s.bbs[i], got)
 			}
+		}
+		// Incremental accounting: the cached child aggregate matches a
+		// fresh re-scan of the children's BookedBySubtree.
+		want := 0.0
+		for _, c := range s.t.Children(id) {
+			if s.bbs[c] != -1 {
+				want += s.bbs[c]
+			}
+		}
+		if math.Abs(want-s.childSum[i]) > tol {
+			fail("childSum: node %d cached %v != Σ children bbs %v", i, s.childSum[i], want)
 		}
 	}
 }

@@ -55,7 +55,7 @@ func Run(t *tree.Tree, plat *Platform, domainOf []int32, ao, eo *order.Order) (*
 			return nil, fmt.Errorf("distributed: task %d mapped to unknown domain %d", i, d)
 		}
 	}
-	if !ao.Topological || !order.IsTopological(t, ao.Seq) {
+	if !ao.TopologicalFor(t) {
 		return nil, fmt.Errorf("distributed: activation order %q is not topological", ao.Name)
 	}
 	n := t.Len()

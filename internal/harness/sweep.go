@@ -275,9 +275,9 @@ type group struct {
 }
 
 type groupKey struct {
-	tree  *tree.Tree
-	heur  string
-	procs int
+	tree   *tree.Tree
+	heur   string
+	procs  int
 	ao, eo string
 }
 

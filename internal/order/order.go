@@ -38,6 +38,29 @@ type Order struct {
 
 	rankOnce sync.Once
 	rank     []int32
+
+	topoMu   sync.Mutex
+	topoTree *tree.Tree
+	topoOK   bool
+}
+
+// TopologicalFor reports whether the order is a valid topological order
+// of t, memoizing the verification per tree: scheduler constructors
+// validate their activation order on every construction, and the O(n)
+// IsTopological scan (plus its position buffer) dominated construction
+// of schedulers on large trees. Safe for concurrent use; orders are
+// shared between the sweep engine's workers.
+func (o *Order) TopologicalFor(t *tree.Tree) bool {
+	if !o.Topological {
+		return false
+	}
+	o.topoMu.Lock()
+	defer o.topoMu.Unlock()
+	if o.topoTree != t {
+		o.topoOK = IsTopological(t, o.Seq)
+		o.topoTree = t
+	}
+	return o.topoOK
 }
 
 // Rank returns the position of every task in the order; lower means
@@ -169,7 +192,18 @@ func MinMemPostOrder(t *tree.Tree) (*Order, float64) {
 	for i := n - 1; i >= 0; i-- {
 		v := td[i]
 		kids := sorted[start[v]:start[v+1]]
-		sortByKeyDesc(kids, key)
+		// Fanout ≤ 2 is the common case on sparse-assembly trees (nested
+		// dissection yields near-binary trees): ordering those inline
+		// avoids the sort call for the bulk of the nodes.
+		switch len(kids) {
+		case 0, 1:
+		case 2:
+			if key[kids[1]] > key[kids[0]] {
+				kids[0], kids[1] = kids[1], kids[0]
+			}
+		default:
+			sortByKeyDesc(kids, key)
+		}
 		acc := 0.0
 		p := 0.0
 		for _, c := range kids {

@@ -114,6 +114,16 @@ func (h *EventHeap) Push(time float64, id int32) {
 	h.up(len(h.ev) - 1)
 }
 
+// Grow ensures capacity for at least n queued events, so a simulation
+// that knows its maximum concurrency can avoid every later re-allocation.
+func (h *EventHeap) Grow(n int) {
+	if cap(h.ev) < n {
+		ev := make([]Event, len(h.ev), n)
+		copy(ev, h.ev)
+		h.ev = ev
+	}
+}
+
 // Min returns the earliest event without removing it.
 func (h *EventHeap) Min() Event { return h.ev[0] }
 
@@ -127,6 +137,30 @@ func (h *EventHeap) Pop() Event {
 		h.down(0)
 	}
 	return top
+}
+
+// PopBatch removes the earliest event together with every event sharing
+// its exact time, appending the IDs to dst (in deterministic Seq order,
+// exactly as repeated Pop calls would yield them) and returning the
+// batch time. The peek-ahead after each sift-down replaces the
+// Pop-then-re-check-Min churn of driving the batch loop from outside the
+// heap: one call per completion batch, no Event copies out, and the
+// equal-time test short-circuits on the root slot. It panics on an
+// empty heap.
+func (h *EventHeap) PopBatch(dst []int32) (float64, []int32) {
+	t := h.ev[0].Time
+	for {
+		dst = append(dst, h.ev[0].ID)
+		last := len(h.ev) - 1
+		h.ev[0] = h.ev[last]
+		h.ev = h.ev[:last]
+		if last > 0 {
+			h.down(0)
+		}
+		if len(h.ev) == 0 || h.ev[0].Time != t {
+			return t, dst
+		}
+	}
 }
 
 func (h *EventHeap) less(i, j int) bool {

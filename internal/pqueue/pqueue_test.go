@@ -127,6 +127,60 @@ func TestEventHeapRandom(t *testing.T) {
 	}
 }
 
+// PopBatch must drain exactly the events sharing the minimum time, in
+// the same deterministic order repeated Pops would produce.
+func TestEventHeapPopBatchMatchesPopLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		times := make([]float64, n)
+		for i := range times {
+			// Few distinct times, so equal-time batches are common.
+			times[i] = float64(rng.Intn(8))
+		}
+		var a, b EventHeap
+		for i, tm := range times {
+			a.Push(tm, int32(i))
+			b.Push(tm, int32(i))
+		}
+		var buf []int32
+		for a.Len() > 0 {
+			now := a.Min().Time
+			var want []int32
+			for a.Len() > 0 && a.Min().Time == now {
+				want = append(want, a.Pop().ID)
+			}
+			gotTime, got := b.PopBatch(buf[:0])
+			buf = got
+			if gotTime != now || len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventHeapGrow(t *testing.T) {
+	var h EventHeap
+	h.Push(2.0, 1)
+	h.Grow(100)
+	h.Push(1.0, 2)
+	if e := h.Pop(); e.ID != 2 {
+		t.Fatalf("Grow lost heap order: first pop %d", e.ID)
+	}
+	if e := h.Pop(); e.ID != 1 {
+		t.Fatalf("Grow lost events: second pop %d", e.ID)
+	}
+}
+
 func TestFloatHeapMaxFirst(t *testing.T) {
 	key := []float64{1.5, 9.0, 4.2, 9.0}
 	h := NewFloatHeap(key)

@@ -34,7 +34,10 @@ type Options struct {
 	// should set it.
 	NoSchedTime bool
 	// Clock replaces time.Now for the SchedTime measurement; tests use it
-	// to make timing output deterministic. Ignored under NoSchedTime.
+	// to make timing output deterministic. Setting Clock together with
+	// NoSchedTime is contradictory (there is no measurement for the clock
+	// to drive); Run rejects the combination instead of silently ignoring
+	// the clock.
 	Clock func() time.Time
 }
 
@@ -94,6 +97,7 @@ func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) 
 type Runner struct {
 	events pqueue.EventHeap
 	batch  []tree.NodeID
+	ids    []int32 // PopBatch destination, recycled across batches
 }
 
 // Run simulates the execution of t on p processors driven by s.
@@ -103,6 +107,9 @@ func (r *Runner) Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Res
 	}
 	if p <= 0 {
 		return nil, fmt.Errorf("sim: need at least one processor, got %d", p)
+	}
+	if opts.NoSchedTime && opts.Clock != nil {
+		return nil, fmt.Errorf("sim: Options.Clock is set together with NoSchedTime, which disables the measurement the clock would drive")
 	}
 	n := t.Len()
 	res := &Result{}
@@ -125,6 +132,20 @@ func (r *Runner) Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Res
 
 	events := &r.events
 	events.Reset()
+	// At most min(p, n) tasks run — and hence events are pending — at any
+	// instant; pre-sizing the heap and both batch buffers from the tree
+	// removes every growth re-allocation from the event loop.
+	hint := p
+	if n < hint {
+		hint = n
+	}
+	events.Grow(hint)
+	if cap(r.batch) < hint {
+		r.batch = make([]tree.NodeID, 0, hint)
+	}
+	if cap(r.ids) < hint {
+		r.ids = make([]int32, 0, hint)
+	}
 	now := 0.0
 	used := 0.0 // model memory currently resident
 	free := p
@@ -188,14 +209,14 @@ func (r *Runner) Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Res
 
 	batch := r.batch[:0]
 	for events.Len() > 0 {
-		now = events.Min().Time
+		// Drain the whole same-time completion batch in one heap call.
+		var ids []int32
+		now, ids = events.PopBatch(r.ids[:0])
+		r.ids = ids
 		batch = batch[:0]
-		for events.Len() > 0 && events.Min().Time == now {
-			ev := events.Pop()
-			batch = append(batch, tree.NodeID(ev.ID))
-		}
-		r.batch = batch // keep the grown buffer even on early-error returns
-		for _, j := range batch {
+		for _, id := range ids {
+			j := tree.NodeID(id)
+			batch = append(batch, j)
 			free++
 			running--
 			finished++
@@ -211,6 +232,7 @@ func (r *Runner) Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Res
 				used -= t.Out(j)
 			}
 		}
+		r.batch = batch // keep the grown buffer even on early-error returns
 		if measure {
 			st = wall()
 		}

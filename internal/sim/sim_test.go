@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/order"
@@ -40,6 +41,23 @@ func TestRunRejectsBadProcessorCount(t *testing.T) {
 	tr := tree.MustNew([]tree.NodeID{tree.None}, nil, []float64{1}, nil)
 	if _, err := sim.Run(tr, 0, mb(t, tr, 10), nil); err == nil {
 		t.Fatal("p=0 accepted")
+	}
+}
+
+// A Clock under NoSchedTime would be silently ignored (there is no
+// measurement for it to drive); Run must reject the combination.
+func TestRunRejectsClockUnderNoSchedTime(t *testing.T) {
+	tr := tree.MustNew([]tree.NodeID{tree.None}, nil, []float64{1}, nil)
+	opts := &sim.Options{NoSchedTime: true, Clock: time.Now}
+	if _, err := sim.Run(tr, 1, mb(t, tr, 10), opts); err == nil {
+		t.Fatal("Clock accepted under NoSchedTime")
+	}
+	// Each setting alone stays valid.
+	if _, err := sim.Run(tr, 1, mb(t, tr, 10), &sim.Options{NoSchedTime: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(tr, 1, mb(t, tr, 10), &sim.Options{Clock: time.Now}); err != nil {
+		t.Fatal(err)
 	}
 }
 

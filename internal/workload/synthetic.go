@@ -81,6 +81,24 @@ func Synthetic(rng *RNG, opt SyntheticOptions) (*tree.Tree, error) {
 	}
 	// The frontier never empties before the budget is exhausted (every
 	// expansion adds at least one node), so next == n here.
+	return paperTree(rng, parent)
+}
+
+// MustSynthetic is Synthetic but panics on error.
+func MustSynthetic(rng *RNG, opt SyntheticOptions) *tree.Tree {
+	t, err := Synthetic(rng, opt)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// paperTree draws the §7.1 size distribution (exponential edge weights
+// ×100 truncated to [10, 10000], n_i = 0.1·f_i, t_i ∝ f_i) over an
+// already-wired parent array and builds the tree — shared by the random
+// generator and the extreme shapes.
+func paperTree(rng *RNG, parent []tree.NodeID) (*tree.Tree, error) {
+	n := len(parent)
 	out := make([]float64, n)
 	exec := make([]float64, n)
 	tm := make([]float64, n)
@@ -94,16 +112,38 @@ func Synthetic(rng *RNG, opt SyntheticOptions) (*tree.Tree, error) {
 		}
 		out[i] = w
 		exec[i] = 0.1 * w
-		tm[i] = w // proportional to the outgoing edge weight
+		tm[i] = w
 	}
 	return tree.New(parent, exec, out, tm)
 }
 
-// MustSynthetic is Synthetic but panics on error.
-func MustSynthetic(rng *RNG, opt SyntheticOptions) *tree.Tree {
-	t, err := Synthetic(rng, opt)
-	if err != nil {
-		panic(err)
+// Chain generates a linear chain of n tasks (node 0 is the root, node
+// n−1 the single leaf) with the paper's size distribution: the
+// maximum-depth stress shape for per-event scheduler cost (the ALAP
+// dispatch walk climbs ancestors).
+func Chain(rng *RNG, n int) (*tree.Tree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: chain needs a positive size, got %d", n)
 	}
-	return t
+	parent := make([]tree.NodeID, n)
+	parent[0] = tree.None
+	for i := 1; i < n; i++ {
+		parent[i] = tree.NodeID(i - 1)
+	}
+	return paperTree(rng, parent)
+}
+
+// Star generates a root with n−1 leaf children with the paper's size
+// distribution: the maximum-fanout stress shape for candidate
+// activation (the root's BookedBySubtree aggregates every child).
+func Star(rng *RNG, n int) (*tree.Tree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: star needs a positive size, got %d", n)
+	}
+	parent := make([]tree.NodeID, n)
+	parent[0] = tree.None
+	for i := 1; i < n; i++ {
+		parent[i] = 0
+	}
+	return paperTree(rng, parent)
 }

@@ -179,3 +179,34 @@ func TestAssemblyCorpusSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestChainAndStarShapes(t *testing.T) {
+	ch, err := Chain(NewRNG(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Height() != 100 || ch.MaxDegree() != 1 {
+		t.Fatalf("chain shape: height %d maxdeg %d", ch.Height(), ch.MaxDegree())
+	}
+	st, err := Star(NewRNG(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Height() != 2 || st.MaxDegree() != 99 {
+		t.Fatalf("star shape: height %d maxdeg %d", st.Height(), st.MaxDegree())
+	}
+	for _, bad := range []int{0, -1} {
+		if _, err := Chain(NewRNG(1), bad); err == nil {
+			t.Fatal("chain accepted non-positive size")
+		}
+		if _, err := Star(NewRNG(1), bad); err == nil {
+			t.Fatal("star accepted non-positive size")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/order"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -38,6 +39,12 @@ type (
 	Task = executor.Task
 	// Instance is a named workload tree.
 	Instance = workload.Instance
+	// ErrDeadlock is the typed no-progress error shared by the simulator
+	// and the live executor; match it with errors.As.
+	ErrDeadlock = core.ErrDeadlock
+	// PerturbModel is a named duration-perturbation model for the
+	// robustness suite (see internal/perturb).
+	PerturbModel = perturb.Model
 )
 
 // None is the absent node (parent of the root).
@@ -127,6 +134,22 @@ func SimulateOpts(t *Tree, p int, s Scheduler, opts *SimOptions) (*SimResult, er
 // the scheduler deciding dynamically which tasks may start.
 func Execute(t *Tree, s Scheduler, workers int, task Task) (*ExecResult, error) {
 	return executor.Run(t, s, workers, task)
+}
+
+// Duration uncertainty (DESIGN.md §6).
+
+// PerturbModels returns the default duration-perturbation grid:
+// lognormal and uniform multiplicative noise, heavy-tail stragglers, a
+// bimodal fast/slow split and zero-duration degenerates.
+func PerturbModels() []PerturbModel { return perturb.DefaultModels() }
+
+// Realise returns a perturbed realisation of t under model m: same
+// shape and data sizes, durations scaled by seeded per-task factors.
+// Schedulers built from the nominal t (and its orders and bounds) can
+// execute the realisation — the information asymmetry of the paper's
+// dynamic-scheduling claim.
+func Realise(t *Tree, m PerturbModel, seed uint64) (*Tree, error) {
+	return perturb.Realise(t, m, seed)
 }
 
 // Lower bounds (§6).

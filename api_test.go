@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"sync/atomic"
@@ -175,5 +176,59 @@ func TestPublicBuilderAndCorpus(t *testing.T) {
 	}
 	if _, err := repro.MemoryLowerBound(tr, 0); err == nil {
 		t.Fatal("M=0 accepted")
+	}
+}
+
+// A scheduler built from the nominal tree must execute any perturbed
+// realisation within the nominal memory bound (the paper's
+// dynamic-scheduling claim through the public API).
+func TestPublicPerturbation(t *testing.T) {
+	tr, err := repro.SyntheticTree(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := repro.PerturbModels()
+	if len(models) == 0 {
+		t.Fatal("no perturbation models")
+	}
+	ao, peak := repro.MinMemPostOrder(tr)
+	for _, m := range models {
+		rt, err := repro.Realise(tr, m, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Len() != tr.Len() {
+			t.Fatalf("%s: realisation has %d nodes, want %d", m.Name, rt.Len(), tr.Len())
+		}
+		s, err := repro.NewMemBooking(tr, peak, ao, ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := repro.Simulate(rt, 4, s, peak)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.PeakMem > peak+1e-9 {
+			t.Fatalf("%s: peak %g over nominal bound %g", m.Name, res.PeakMem, peak)
+		}
+	}
+}
+
+// The executor's deadlock is the same public typed error as the
+// simulator's.
+func TestPublicDeadlockTyped(t *testing.T) {
+	tr, err := repro.NewTree([]repro.NodeID{repro.None}, []float64{5}, []float64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, _ := repro.MinMemPostOrder(tr)
+	s, err := repro.NewMemBooking(tr, 3, ao, ao) // can never activate
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, execErr := repro.Execute(tr, s, 1, func(repro.NodeID) error { return nil })
+	var dead *repro.ErrDeadlock
+	if !errors.As(execErr, &dead) {
+		t.Fatalf("executor deadlock is %T, want *repro.ErrDeadlock", execErr)
 	}
 }

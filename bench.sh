@@ -3,9 +3,11 @@
 # BENCH_sweep.json: the figure-suite wall-clock (fig2+fig3+fig4 through
 # the shared sweep engine), MemBooking's per-event scheduling overhead
 # (the paper's §5.1 "below 1ms per node" claim), the MinMemPostOrder
-# traversal cost at 100k nodes, and the large-tree tier — per-scheduler
+# traversal cost at 100k nodes, the large-tree tier — per-scheduler
 # sched-ns/node from 10k to 1M nodes across random/chain/star/assembly
-# shapes (the Figures 5/6/13 flatness claim). Values are nanoseconds.
+# shapes (the Figures 5/6/13 flatness claim) — and the robust sweep
+# (every duration-perturbation model over both miniature corpora).
+# Values are nanoseconds.
 set -eu
 
 cd "$(dirname "$0")"
@@ -13,7 +15,7 @@ out=BENCH_sweep.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge' \
+go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep' \
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
 awk '
@@ -21,6 +23,7 @@ BEGIN { nlt = 0 }
 $1 ~ /^BenchmarkFigSuite$/ { suite=$3 }
 $1 ~ /^BenchmarkMemBookingPerEvent\/n100k/ { pernode=$5 }
 $1 ~ /^BenchmarkMinMemPostOrder/ { minmem=$3 }
+$1 ~ /^BenchmarkRobustSweep/ { robust=$3 }
 $1 ~ /^BenchmarkSchedPerEventLarge\// {
 	key=$1
 	sub(/^BenchmarkSchedPerEventLarge\//, "", key)
@@ -32,6 +35,7 @@ END {
 	printf "  \"fig_suite_ns\": %s,\n", (suite == "" ? "null" : suite)
 	printf "  \"sched_ns_per_node\": %s,\n", (pernode == "" ? "null" : pernode)
 	printf "  \"minmem_postorder_ns\": %s,\n", (minmem == "" ? "null" : minmem)
+	printf "  \"robust_sweep_ns\": %s,\n", (robust == "" ? "null" : robust)
 	printf "  \"large_tier_sched_ns_per_node\": {\n"
 	for (i = 0; i < nlt; i++)
 		printf "    \"%s\": %s%s\n", ltk[i], ltv[i], (i < nlt-1 ? "," : "")

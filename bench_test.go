@@ -455,6 +455,12 @@ func BenchmarkMoldableRun(b *testing.B) {
 
 func BenchmarkDistributedStudy(b *testing.B) { benchExperiment(b, "dist") }
 
+// BenchmarkRobustSweep measures the duration-uncertainty experiment:
+// every perturbation model of internal/perturb realised over both
+// miniature corpora, nominal denominators included, through the shared
+// sweep engine (bench.sh records it as robust_sweep_ns).
+func BenchmarkRobustSweep(b *testing.B) { benchExperiment(b, "robust") }
+
 func BenchmarkDistributedRun(b *testing.B) {
 	t := benchTree(10000)
 	ao, peak := order.MinMemPostOrder(t)

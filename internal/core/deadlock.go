@@ -1,0 +1,23 @@
+package core
+
+import "fmt"
+
+// ErrDeadlock is returned by an execution engine — the discrete-event
+// simulator (internal/sim) or the live executor (internal/executor) —
+// when the scheduler can make no progress: no task is running and none
+// can be launched, yet the tree is unfinished. Activation and
+// MemBookingRedTree hit it when the memory bound is too small;
+// MemBooking never does while M ≥ peak(AO) (Theorem 1). It lives here,
+// next to the Scheduler interface, so both engines share one type and
+// callers can match either engine's deadlock with errors.As.
+type ErrDeadlock struct {
+	Scheduler string
+	Finished  int
+	Total     int
+	Booked    float64
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("%s deadlocked after %d/%d tasks (booked %g)",
+		e.Scheduler, e.Finished, e.Total, e.Booked)
+}

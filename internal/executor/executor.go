@@ -61,10 +61,22 @@ func Run(t *tree.Tree, s core.Scheduler, workers int, task Task) (*Result, error
 		used     float64
 		res      = &Result{}
 		start    = time.Now()
+		firstErr error
 	)
 
+	// launch starts the selected tasks, enforcing the worker cap exactly
+	// like the simulator: a scheduler that returns more tasks than the
+	// free processors it was asked for is a contract violation, not a
+	// licence to run extra goroutines. Already-launched tasks keep
+	// running; the drain loop below collects them before returning.
 	launch := func(ids []tree.NodeID) {
 		for _, id := range ids {
+			if running == workers {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("executor: %s over-selected tasks", s.Name())
+				}
+				break
+			}
 			running++
 			used += t.Exec(id) + t.Out(id)
 			if used > res.PeakMem {
@@ -80,13 +92,12 @@ func Run(t *tree.Tree, s core.Scheduler, workers int, task Task) (*Result, error
 	}
 
 	launch(s.Select(workers))
-	var firstErr error
 	for finished < n {
 		if running == 0 {
 			if firstErr != nil {
 				return nil, firstErr
 			}
-			return nil, fmt.Errorf("executor: %s deadlocked after %d/%d tasks", s.Name(), finished, n)
+			return nil, &core.ErrDeadlock{Scheduler: s.Name(), Finished: finished, Total: n, Booked: s.BookedMemory()}
 		}
 		c := <-done
 		running--

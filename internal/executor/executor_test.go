@@ -3,6 +3,7 @@ package executor_test
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/executor"
 	"repro/internal/order"
+	"repro/internal/sim"
 	"repro/internal/tree"
 )
 
@@ -119,8 +121,60 @@ func TestRunValidatesArguments(t *testing.T) {
 func TestRunDeadlockReported(t *testing.T) {
 	tr := tree.MustNew([]tree.NodeID{tree.None}, []float64{5}, []float64{5}, nil)
 	s := newMB(t, tr, 3) // can never activate
-	if _, err := executor.Run(tr, s, 1, func(tree.NodeID) error { return nil }); err == nil {
+	_, err := executor.Run(tr, s, 1, func(tree.NodeID) error { return nil })
+	if err == nil {
 		t.Fatal("deadlock not reported")
+	}
+	// The executor's deadlock is the same typed error as the simulator's,
+	// so callers can match either engine with one errors.As.
+	var dead *core.ErrDeadlock
+	if !errors.As(err, &dead) {
+		t.Fatalf("deadlock error is %T, want *core.ErrDeadlock", err)
+	}
+	if dead.Scheduler != s.Name() || dead.Finished != 0 || dead.Total != 1 {
+		t.Fatalf("deadlock fields %+v", dead)
+	}
+	var simDead *sim.ErrDeadlock
+	if !errors.As(err, &simDead) {
+		t.Fatal("executor deadlock not matched by *sim.ErrDeadlock alias")
+	}
+}
+
+// overSelector wraps a scheduler and returns one more task than asked
+// for whenever it can, provoking the executor's worker-cap guard.
+type overSelector struct {
+	core.Scheduler
+	extra []tree.NodeID // tasks held back to over-select with later
+}
+
+func (o *overSelector) Select(free int) []tree.NodeID {
+	out := append([]tree.NodeID(nil), o.extra...)
+	o.extra = nil
+	out = append(out, o.Scheduler.Select(free+1)...)
+	if len(out) > free+1 {
+		o.extra = out[free+1:]
+		out = out[:free+1]
+	}
+	return out
+}
+
+func TestRunRejectsOverSelection(t *testing.T) {
+	// A star of 4 leaves with ample memory: the wrapped scheduler happily
+	// hands out free+1 ready leaves, which the executor must refuse to run
+	// beyond the worker cap.
+	tr := tree.MustNew([]tree.NodeID{tree.None, 0, 0, 0, 0}, nil, []float64{1, 1, 1, 1, 1}, nil)
+	s := &overSelector{Scheduler: newMB(t, tr, 100)}
+	var started atomic.Int32
+	_, err := executor.Run(tr, s, 2, func(id tree.NodeID) error {
+		started.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "over-selected") {
+		t.Fatalf("err = %v, want over-selection error", err)
+	}
+	if got := started.Load(); got > 2 {
+		t.Fatalf("%d tasks ran concurrently past the cap of 2", got)
 	}
 }
 

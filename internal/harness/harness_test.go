@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -51,7 +52,7 @@ func cellFloat(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "avgmem", "dist", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "lb", "moldable", "price", "profile", "redfail"}
+		"fig9", "lb", "moldable", "price", "profile", "redfail", "robust"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(got), len(want), got)
@@ -257,6 +258,71 @@ func TestEveryExperimentRuns(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// The robust experiment exercises the paper's dynamic-scheduling claim:
+// MemBooking's completion guarantee and memory bound must hold under
+// every duration-perturbation model at every factor ≥ 1, because
+// Theorem 1 depends only on the tree shape and data sizes — which the
+// perturbation leaves untouched.
+func TestRobustMemBookingUnshaken(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Run("robust", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]bool{}
+	for _, r := range tab.Rows {
+		models[r[0]] = true
+		safe := cellFloat(t, r[7])
+		if frac := cellFloat(t, r[3]); frac > 0 {
+			if safe != 1 {
+				t.Errorf("memory-safety %v < 1 in row %v", safe, r)
+			}
+		} else if !math.IsNaN(safe) {
+			t.Errorf("memory-safety %v reported with zero completions in row %v", safe, r)
+		}
+		if r[2] == HeurMemBooking {
+			if frac := cellFloat(t, r[3]); frac != 1 {
+				t.Errorf("MemBooking completed %v under %s at factor %s, want 1", frac, r[0], r[1])
+			}
+			if slow := cellFloat(t, r[4]); slow <= 0 {
+				t.Errorf("non-positive mean slowdown %v in row %v", slow, r)
+			}
+		}
+	}
+	if want := len(robustFactors()) * len(AllHeuristics); len(tab.Rows) != want*len(models) {
+		t.Fatalf("robust has %d rows for %d models, want %d per model", len(tab.Rows), len(models), want)
+	}
+	// Stragglers must actually hurt: the 10× heavy tail cannot leave the
+	// mean makespan unchanged.
+	rows := findRows(tab, func(r []string) bool {
+		return r[0] == "stragglers(0.05,10)" && r[2] == HeurMemBooking && r[1] == "2"
+	})
+	if len(rows) != 1 {
+		t.Fatalf("missing stragglers row: %v", tab.Rows)
+	}
+	if slow := cellFloat(t, rows[0][4]); slow <= 1 {
+		t.Errorf("stragglers mean slowdown %v, want > 1", slow)
+	}
+}
+
+// The perturbed cells must share the nominal denominators with the
+// fig2-style grid and be memoized like every other cell: a robust
+// re-run simulates nothing new.
+func TestRobustCellsMemoized(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Run("robust", cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := cfg.Engine().Stats()
+	if _, err := Run("robust", cfg); err != nil {
+		t.Fatal(err)
+	}
+	second := cfg.Engine().Stats()
+	if second.CellsComputed != first.CellsComputed {
+		t.Errorf("robust re-run simulated %d new cells", second.CellsComputed-first.CellsComputed)
 	}
 }
 

@@ -61,6 +61,7 @@ var registry = map[string]Runner{
 	"moldable": moldableStudy,
 	"dist":     distStudy,
 	"price":    priceStudy,
+	"robust":   robustStudy,
 }
 
 // Run executes the experiment with the given ID.

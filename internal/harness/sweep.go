@@ -9,6 +9,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/order"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/tree"
 	"repro/internal/workload"
@@ -30,13 +31,18 @@ import (
 // cellKey identifies one simulation cell. The memory bound is expressed
 // as the normalised factor (the bound is factor × the instance's minimal
 // peak), and orders by their names, so cells are shared across
-// experiments that build the same grid independently.
+// experiments that build the same grid independently. perturb names the
+// duration-perturbation realisation executed by the simulator ("" for
+// nominal durations): the robust experiment's realisations are a pure
+// function of (perturbation model, Config seed, instance), so the model
+// name is a content-derived key exactly like the order names.
 type cellKey struct {
-	tree   *tree.Tree
-	heur   string
-	procs  int
-	factor float64
-	ao, eo string
+	tree    *tree.Tree
+	heur    string
+	procs   int
+	factor  float64
+	ao, eo  string
+	perturb string
 }
 
 // cellEntry is the memoized result of one cell. timed records whether
@@ -49,13 +55,18 @@ type cellEntry struct {
 }
 
 // cellReq asks the engine for one cell; timed requests a SchedTime
-// measurement (Figures 5, 6 and 13).
+// measurement (Figures 5, 6 and 13). factors, when non-nil, are the
+// per-task duration multipliers of the perturbation named by the key:
+// the scheduler is still built from the nominal tree with the nominal
+// bound (the information asymmetry of the paper's dynamic-scheduling
+// claim), only the executed durations change.
 type cellReq struct {
-	key   cellKey
-	ao    *order.Order
-	eo    *order.Order
-	m     float64 // factor × peak, precomputed by the planner
-	timed bool
+	key     cellKey
+	ao      *order.Order
+	eo      *order.Order
+	m       float64 // factor × peak, precomputed by the planner
+	timed   bool
+	factors []float64
 }
 
 // EngineStats counts the engine's cache behaviour; the exactly-once
@@ -257,9 +268,11 @@ func (e *Engine) fanOut(n int, fn func(int)) {
 
 // job is one cell a worker must simulate, bound to its memo entry.
 type job struct {
-	m     float64
-	timed bool
-	entry *cellEntry
+	m       float64
+	timed   bool
+	entry   *cellEntry
+	perturb string
+	factors []float64
 }
 
 // group gathers every missing cell sharing (tree, heuristic, orders,
@@ -338,7 +351,7 @@ func (e *Engine) addJob(byGroup map[groupKey]*group, groups *[]*group, r *cellRe
 		byGroup[gk] = g
 		*groups = append(*groups, g)
 	}
-	j := &job{m: r.m, timed: r.timed, entry: ent}
+	j := &job{m: r.m, timed: r.timed, entry: ent, perturb: r.key.perturb, factors: r.factors}
 	g.jobs = append(g.jobs, j)
 	return j
 }
@@ -352,12 +365,15 @@ func countJobs(groups []*group) int {
 }
 
 // evalGroup simulates every cell of a group, constructing the group's
-// scheduler once and Reset-ing it between memory bounds.
+// scheduler once and Reset-ing it between memory bounds. Perturbed
+// realisations of the group's run tree are derived once per
+// perturbation and shared by every memory bound of the group.
 func (e *Engine) evalGroup(g *group, r *sim.Runner) {
 	var (
-		act *baseline.Activation
-		red *baseline.MemBookingRedTree
-		mb  *core.MemBooking
+		act      *baseline.Activation
+		red      *baseline.MemBookingRedTree
+		mb       *core.MemBooking
+		realised map[string]*tree.Tree
 	)
 	for _, j := range g.jobs {
 		var (
@@ -395,6 +411,27 @@ func (e *Engine) evalGroup(g *group, r *sim.Runner) {
 		if err != nil {
 			j.entry.err = err
 			continue
+		}
+		if j.factors != nil {
+			// Execute the perturbed realisation: same shape and sizes,
+			// scaled durations. The scheduler above was built from — and
+			// bounded by — the nominal tree. For RedTree the run tree is
+			// the reduction transform, whose first Len(nominal) nodes map
+			// one-to-one to the nominal tasks and whose fictitious leaves
+			// have zero duration, so the nominal factor vector applies.
+			pt, ok := realised[j.perturb]
+			if !ok {
+				pt, err = perturb.Apply(run, j.factors)
+				if err != nil {
+					j.entry.err = err
+					continue
+				}
+				if realised == nil {
+					realised = make(map[string]*tree.Tree)
+				}
+				realised[j.perturb] = pt
+			}
+			run = pt
 		}
 		opts := sim.Options{CheckMemory: true, Bound: j.m, NoSchedTime: !j.timed}
 		if j.timed && e.fakeClock {
@@ -443,14 +480,23 @@ func (c *Config) plan() *planner {
 	return &planner{eng: c.Engine()}
 }
 
-func cellKeyOf(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order) cellKey {
-	return cellKey{tree: pr.inst.Tree, heur: heur, procs: procs, factor: factor, ao: ao.Name, eo: eo.Name}
+func cellKeyOf(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order, pname string) cellKey {
+	return cellKey{tree: pr.inst.Tree, heur: heur, procs: procs, factor: factor, ao: ao.Name, eo: eo.Name, perturb: pname}
 }
 
-// want plans one cell; timed requests a SchedTime measurement.
+// want plans one nominal-duration cell; timed requests a SchedTime
+// measurement.
 func (p *planner) want(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order, timed bool) {
-	key := cellKeyOf(pr, heur, procs, factor, ao, eo)
+	key := cellKeyOf(pr, heur, procs, factor, ao, eo, "")
 	p.reqs = append(p.reqs, cellReq{key: key, ao: ao, eo: eo, m: factor * pr.peak, timed: timed})
+}
+
+// wantPerturbed plans one cell whose simulation executes perturbed
+// durations (per-task multipliers in factors, named pname) while the
+// scheduler keeps working from nominal data.
+func (p *planner) wantPerturbed(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order, pname string, factors []float64) {
+	key := cellKeyOf(pr, heur, procs, factor, ao, eo, pname)
+	p.reqs = append(p.reqs, cellReq{key: key, ao: ao, eo: eo, m: factor * pr.peak, factors: factors})
 }
 
 // run evaluates every planned cell (parallel, deduplicated, memoized).
@@ -458,7 +504,12 @@ func (p *planner) run() {
 	p.eng.EvalAll(p.reqs)
 }
 
-// get reads one evaluated cell.
+// get reads one evaluated nominal cell.
 func (p *planner) get(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order) (outcome, error) {
-	return p.eng.cell(cellKeyOf(pr, heur, procs, factor, ao, eo))
+	return p.eng.cell(cellKeyOf(pr, heur, procs, factor, ao, eo, ""))
+}
+
+// getPerturbed reads one evaluated perturbed cell.
+func (p *planner) getPerturbed(pr prepared, heur string, procs int, factor float64, ao, eo *order.Order, pname string) (outcome, error) {
+	return p.eng.cell(cellKeyOf(pr, heur, procs, factor, ao, eo, pname))
 }

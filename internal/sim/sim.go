@@ -71,18 +71,10 @@ func (r *Result) Utilization(p int) float64 {
 // ErrDeadlock is returned when the scheduler can make no progress: no
 // task is running and none can be launched, yet the tree is unfinished.
 // Activation and MemBookingRedTree hit it when the memory bound is too
-// small; MemBooking never does while M ≥ peak(AO) (Theorem 1).
-type ErrDeadlock struct {
-	Scheduler string
-	Finished  int
-	Total     int
-	Booked    float64
-}
-
-func (e *ErrDeadlock) Error() string {
-	return fmt.Sprintf("sim: %s deadlocked after %d/%d tasks (booked %g)",
-		e.Scheduler, e.Finished, e.Total, e.Booked)
-}
+// small; MemBooking never does while M ≥ peak(AO) (Theorem 1). The type
+// is shared with the live executor (it is an alias of core.ErrDeadlock),
+// so errors.As catches the deadlock of either engine.
+type ErrDeadlock = core.ErrDeadlock
 
 // Run simulates the execution of t on p processors driven by s.
 func Run(t *tree.Tree, p int, s core.Scheduler, opts *Options) (*Result, error) {

@@ -27,6 +27,12 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted reads the q-quantile from an already-sorted non-empty
+// sample, so callers needing several quantiles sort once.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -82,17 +88,23 @@ type Summary struct {
 	Min, Max     float64
 }
 
-// Summarize computes a Summary.
+// Summarize computes a Summary. The sample is copied and sorted once;
+// all quantiles and extremes are read from the same sorted copy.
 func Summarize(xs []float64) Summary {
-	return Summary{
-		N:      len(xs),
-		Mean:   Mean(xs),
-		Median: Median(xs),
-		D1:     Quantile(xs, 0.1),
-		D9:     Quantile(xs, 0.9),
-		Min:    Min(xs),
-		Max:    Max(xs),
+	s := Summary{N: len(xs), Mean: Mean(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Median, s.D1, s.D9, s.Min, s.Max = nan, nan, nan, nan, nan
+		return s
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.D1 = quantileSorted(sorted, 0.1)
+	s.D9 = quantileSorted(sorted, 0.9)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	return s
 }
 
 // Geomean returns the geometric mean of positive values (NaN if empty or

@@ -65,6 +65,93 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestQuantileTable pins the linear-interpolation rule between order
+// statistics against hand-computed values: pos = q·(n−1), value =
+// sorted[⌊pos⌋]·(1−frac) + sorted[⌊pos⌋+1]·frac.
+func TestQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"single/any-q", []float64{7}, 0.3, 7},
+		{"pair/q0", []float64{0, 10}, 0, 0},
+		{"pair/q0.1", []float64{0, 10}, 0.1, 1},
+		{"pair/q0.9", []float64{0, 10}, 0.9, 9},
+		{"pair/q1", []float64{0, 10}, 1, 10},
+		{"below-zero-clamps", []float64{3, 1, 2}, -0.5, 1},
+		{"above-one-clamps", []float64{3, 1, 2}, 1.5, 3},
+		{"triple/q0.5-exact", []float64{1, 2, 3}, 0.5, 2},
+		{"triple/q0.25", []float64{1, 2, 3}, 0.25, 1.5},
+		{"unsorted/q0.75", []float64{40, 10, 30, 20}, 0.75, 32.5},
+		{"five/q0.1", []float64{5, 1, 4, 2, 3}, 0.1, 1.4},
+		{"five/q0.9", []float64{5, 1, 4, 2, 3}, 0.9, 4.6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.xs, c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Quantile(%v, %v) = %v, want %v", c.xs, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+// TestSummarizeTable pins Summarize against hand-computed values and
+// verifies every field is NaN on the empty sample.
+func TestSummarizeTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{"single", []float64{4}, Summary{N: 1, Mean: 4, Median: 4, D1: 4, D9: 4, Min: 4, Max: 4}},
+		{"pair", []float64{10, 0}, Summary{N: 2, Mean: 5, Median: 5, D1: 1, D9: 9, Min: 0, Max: 10}},
+		{"five-unsorted", []float64{5, 1, 4, 2, 3},
+			Summary{N: 5, Mean: 3, Median: 3, D1: 1.4, D9: 4.6, Min: 1, Max: 5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Summarize(c.xs)
+			fields := [][2]float64{
+				{got.Mean, c.want.Mean}, {got.Median, c.want.Median},
+				{got.D1, c.want.D1}, {got.D9, c.want.D9},
+				{got.Min, c.want.Min}, {got.Max, c.want.Max},
+			}
+			if got.N != c.want.N {
+				t.Fatalf("N = %d, want %d", got.N, c.want.N)
+			}
+			for i, f := range fields {
+				if math.Abs(f[0]-f[1]) > 1e-12 {
+					t.Fatalf("field %d = %v, want %v (summary %+v)", i, f[0], f[1], got)
+				}
+			}
+		})
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatalf("empty N = %d", empty.N)
+	}
+	for i, v := range []float64{empty.Mean, empty.Median, empty.D1, empty.D9, empty.Min, empty.Max} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty summary field %d = %v, want NaN", i, v)
+		}
+	}
+}
+
+// Summarize and the one-shot Quantile calls must agree: the shared
+// sorted copy may not drift from the public interpolation rule.
+func TestSummarizeMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 2, 7, 7, 1, 3, 8, 4}
+	s := Summarize(xs)
+	if s.Median != Median(xs) || s.D1 != Quantile(xs, 0.1) || s.D9 != Quantile(xs, 0.9) {
+		t.Fatalf("Summarize disagrees with Quantile: %+v", s)
+	}
+	if s.Min != Min(xs) || s.Max != Max(xs) {
+		t.Fatalf("Summarize extremes disagree: %+v", s)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("geomean = %v", got)

@@ -46,8 +46,16 @@ func NewRecorder(t *tree.Tree, inner core.Scheduler) *Recorder {
 // Name implements core.Scheduler.
 func (r *Recorder) Name() string { return r.inner.Name() }
 
-// Init implements core.Scheduler.
-func (r *Recorder) Init() error { return r.inner.Init() }
+// Init implements core.Scheduler. The scheduler contract allows
+// repeated Init for zero-allocation re-runs, so Init discards any state
+// recorded by a previous run: stale spans, open starts and the inferred
+// clock would otherwise corrupt the second trace.
+func (r *Recorder) Init() error {
+	r.now = 0
+	r.spans = r.spans[:0]
+	clear(r.started)
+	return r.inner.Init()
+}
 
 // BookedMemory implements core.Scheduler.
 func (r *Recorder) BookedMemory() float64 { return r.inner.BookedMemory() }

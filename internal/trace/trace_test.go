@@ -88,6 +88,35 @@ func TestRecorderRespectsPrecedence(t *testing.T) {
 	}
 }
 
+// The scheduler contract allows repeated Init for zero-alloc re-runs;
+// a reused Recorder must produce the same trace as a fresh one instead
+// of appending to the previous run's spans or reusing its clock.
+func TestRecorderReRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	tr := randTree(rng, 50)
+	ao, peak := order.MinMemPostOrder(tr)
+	inner, err := core.NewMemBooking(tr, 2*peak, ao, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(tr, inner)
+	var runs [][]trace.Span
+	for run := 0; run < 2; run++ {
+		if _, err := sim.Run(tr, 4, rec, nil); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, append([]trace.Span(nil), rec.Spans()...))
+	}
+	if len(runs[1]) != tr.Len() {
+		t.Fatalf("second run recorded %d spans for %d tasks", len(runs[1]), tr.Len())
+	}
+	for i := range runs[0] {
+		if runs[0][i] != runs[1][i] {
+			t.Fatalf("span %d differs between runs: %+v vs %+v", i, runs[0][i], runs[1][i])
+		}
+	}
+}
+
 func TestGanttRendering(t *testing.T) {
 	rng := rand.New(rand.NewSource(241))
 	tr := randTree(rng, 30)

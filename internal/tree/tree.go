@@ -367,6 +367,27 @@ func (t *Tree) ComputeStats() Stats {
 	return s
 }
 
+// WithTimes returns a tree that shares the structure (parents, CSR
+// children index) and data sizes of t but carries the given processing
+// times. It is the substrate of the duration-uncertainty experiments
+// (internal/perturb): schedulers are built from the nominal tree while
+// the simulator executes a WithTimes realisation, and because the two
+// trees agree on every memory attribute the memory accounting and the
+// Theorem 1 bound carry over unchanged. O(1) beyond validating tm.
+func (t *Tree) WithTimes(tm []float64) (*Tree, error) {
+	if len(tm) != t.Len() {
+		return nil, fmt.Errorf("tree: %d times for %d nodes", len(tm), t.Len())
+	}
+	for i, v := range tm {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("tree: node %d has invalid time %v", i, v)
+		}
+	}
+	nt := *t
+	nt.time = tm
+	return &nt, nil
+}
+
 // Validate re-checks structural invariants plus attribute sanity (no NaN,
 // no negative sizes or times). New already guarantees shape invariants;
 // Validate is for trees read from disk or produced by transforms.

@@ -2,6 +2,7 @@ package tree
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -291,5 +292,38 @@ func TestValidate(t *testing.T) {
 	bad.out[1] = -1
 	if err := bad.Validate(); err == nil {
 		t.Fatal("negative attribute accepted")
+	}
+}
+
+func TestWithTimes(t *testing.T) {
+	tr := MustNew([]NodeID{None, 0, 0}, []float64{1, 0, 0}, []float64{4, 2, 3}, []float64{5, 6, 7})
+	pt, err := tr.WithTimes([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		id := NodeID(i)
+		if pt.Time(id) != float64(i+1) {
+			t.Fatalf("time %d = %v", i, pt.Time(id))
+		}
+		if tr.Time(id) != float64(i+5) {
+			t.Fatalf("WithTimes mutated the receiver at %d", i)
+		}
+		if pt.Parent(id) != tr.Parent(id) || pt.Exec(id) != tr.Exec(id) || pt.Out(id) != tr.Out(id) {
+			t.Fatalf("WithTimes changed structure or sizes at %d", i)
+		}
+	}
+	// The children index is shared, not rebuilt.
+	if &pt.childList[0] != &tr.childList[0] {
+		t.Fatal("WithTimes rebuilt the children index")
+	}
+	if _, err := tr.WithTimes([]float64{1, 2}); err == nil {
+		t.Fatal("short times accepted")
+	}
+	if _, err := tr.WithTimes([]float64{1, 2, -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if _, err := tr.WithTimes([]float64{1, 2, math.NaN()}); err == nil {
+		t.Fatal("NaN time accepted")
 	}
 }

@@ -59,6 +59,17 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Norm returns a standard normal value (Box–Muller over two uniform
+// draws; both are always consumed, so the stream stays deterministic).
+func (r *RNG) Norm() float64 {
+	u := r.Float64()
+	v := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
 // Exp returns an exponentially distributed value with rate 1.
 func (r *RNG) Exp() float64 {
 	u := r.Float64()

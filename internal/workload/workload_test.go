@@ -210,3 +210,32 @@ func TestChainAndStarShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestNorm(t *testing.T) {
+	rng := NewRNG(17)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := rng.Norm()
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("Norm returned %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance %v, want ≈ 1", variance)
+	}
+	// Deterministic per seed.
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Norm() != b.Norm() {
+			t.Fatal("Norm stream is not deterministic")
+		}
+	}
+}

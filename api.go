@@ -2,6 +2,7 @@ package repro
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/baseline"
 	"repro/internal/bounds"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/order"
 	"repro/internal/perturb"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -45,6 +47,11 @@ type (
 	// PerturbModel is a named duration-perturbation model for the
 	// robustness suite (see internal/perturb).
 	PerturbModel = perturb.Model
+	// ServiceOptions configures the scheduling service (see
+	// internal/service and cmd/treeschedd).
+	ServiceOptions = service.Options
+	// ServiceStats is the service's /statsz payload.
+	ServiceStats = service.Stats
 )
 
 // None is the absent node (parent of the root).
@@ -59,11 +66,33 @@ func NewTree(parent []NodeID, exec, out, time []float64) (*Tree, error) {
 // NewTreeBuilder returns a Builder with capacity for n nodes.
 func NewTreeBuilder(n int) *TreeBuilder { return tree.NewBuilder(n) }
 
-// ReadTree parses the .tree text format.
-func ReadTree(r io.Reader) (*Tree, error) { return tree.Read(r) }
+// ReadTree parses the .tree text format and validates the result:
+// beyond the parser's structural checks it rejects NaN or negative
+// attributes, which the schedulers are not defined on. Inputs from
+// untrusted sources go through this entry point (internal callers that
+// deliberately construct degenerate trees can use the internal parser).
+func ReadTree(r io.Reader) (*Tree, error) {
+	t, err := tree.Read(r)
+	return validatedTree(t, err)
+}
 
-// ReadTreeFile reads a .tree file.
-func ReadTreeFile(path string) (*Tree, error) { return tree.ReadFile(path) }
+// ReadTreeFile reads a .tree file, validating like ReadTree.
+func ReadTreeFile(path string) (*Tree, error) {
+	t, err := tree.ReadFile(path)
+	return validatedTree(t, err)
+}
+
+// validatedTree chains attribute validation onto a parse result, so
+// both public readers share one definition of "acceptable input".
+func validatedTree(t *Tree, err error) (*Tree, error) {
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
 
 // WriteTree serialises a tree in the .tree text format.
 func WriteTree(w io.Writer, t *Tree) error { return tree.Write(w, t) }
@@ -150,6 +179,16 @@ func PerturbModels() []PerturbModel { return perturb.DefaultModels() }
 // dynamic-scheduling claim.
 func Realise(t *Tree, m PerturbModel, seed uint64) (*Tree, error) {
 	return perturb.Realise(t, m, seed)
+}
+
+// Serving (DESIGN.md §7).
+
+// NewServiceHandler returns the scheduling service's HTTP handler
+// (POST /schedule, GET /healthz, GET /statsz) — the API that
+// cmd/treeschedd serves. nil opts selects the defaults. Embed it in an
+// existing mux to serve scheduling next to other endpoints.
+func NewServiceHandler(opts *ServiceOptions) http.Handler {
+	return service.New(opts).Handler()
 }
 
 // Lower bounds (§6).

@@ -2,9 +2,14 @@ package repro_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -126,6 +131,57 @@ func TestPublicTreeIO(t *testing.T) {
 	}
 	if back2.Len() != tr.Len() {
 		t.Fatal("file round trip size changed")
+	}
+}
+
+// The public service handler serves a schedule and its stats without
+// any daemon setup.
+func TestPublicServiceHandler(t *testing.T) {
+	ts := httptest.NewServer(repro.NewServiceHandler(nil))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/schedule", "application/json",
+		strings.NewReader(`{"synthetic":{"seed":2,"nodes":100}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "makespan") {
+		t.Fatalf("schedule: %d %s", resp.StatusCode, b)
+	}
+	sr, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st repro.ServiceStats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// The exported readers feed schedulers from untrusted bytes, so parse
+// success is not enough: NaN or negative attributes (which the internal
+// parser tolerates structurally) and hostile ids must all surface as
+// errors, never as a tree or a panic.
+func TestPublicReadTreeRejectsHostileInput(t *testing.T) {
+	for _, in := range []string{
+		"0 -1 NaN 1 1\n",              // NaN attribute
+		"0 -1 inf 1 1\n",              // infinite attribute
+		"0 -1 -5 1 1\n",               // negative attribute
+		"0 -1 1 1 -3\n",               // negative time
+		"-2 -1 1 1 1\n",               // negative id (the old panic)
+		"1000000000000000 -1 1 1 1\n", // absurd id
+		"0 0 1 1 1\n",                 // self-parent
+		"0 -1 1 1 1\n1 -1 1 1 1\n",    // two roots
+	} {
+		tr, err := repro.ReadTree(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("ReadTree(%q) accepted: %v", in, tr)
+		}
 	}
 }
 

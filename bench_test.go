@@ -7,7 +7,12 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/moldable"
 	"repro/internal/order"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/tree"
@@ -475,3 +481,40 @@ func BenchmarkDistributedRun(b *testing.B) {
 }
 
 func BenchmarkPriceStudy(b *testing.B) { benchExperiment(b, "price") }
+
+// BenchmarkServiceRequest measures one warm scheduling request through
+// the full treeschedd HTTP stack: a 10k-node tree already resident in
+// the prepared-instance cache, MemBooking at the default bound, JSON in
+// and out (bench.sh records it as service_req_ns). The gap between this
+// and a cold request is the prepared-instance cache's win.
+func BenchmarkServiceRequest(b *testing.B) {
+	srv := service.New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t := benchTree(10000)
+	var buf bytes.Buffer
+	if err := tree.Write(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]any{"tree": buf.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	do := func() {
+		resp, err := client.Post(ts.URL+"/schedule", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	do() // first sight pays the preparation; the measured loop is warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+}

@@ -1,0 +1,105 @@
+// Command treeschedd is the long-running scheduling service: an
+// HTTP/JSON API over the paper's heuristics (internal/service).
+//
+// Usage:
+//
+//	treeschedd -addr :8080
+//	curl -s localhost:8080/schedule -d '{"synthetic":{"seed":1,"nodes":1000}}'
+//	curl -s localhost:8080/statsz
+//
+// POST /schedule accepts a .tree payload ({"tree":"0 -1 1 1 1\n..."})
+// or an instance spec (synthetic / grid2d / grid3d), plus heuristic,
+// procs, mem or mem_factor, ao/eo, an optional perturbation model, and
+// trace. GET /healthz and GET /statsz report liveness and the cache /
+// worker-pool counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		procs      = flag.Int("procs", 8, "default processor count per request")
+		memFactor  = flag.Float64("memfactor", 2, "default memory bound as a multiple of the minimum sequential memory")
+		maxNodes   = flag.Int("max-nodes", 1<<20, "largest accepted tree (413 beyond)")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cached     = flag.Int("cache", 256, "content-cache capacity in trees")
+		cacheNodes = flag.Int("cache-nodes", 1<<23, "content-cache capacity in total nodes")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: treeschedd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*addr, &service.Options{
+		Procs:          *procs,
+		MemFactor:      *memFactor,
+		MaxNodes:       *maxNodes,
+		Workers:        *workers,
+		MaxCachedTrees: *cached,
+		MaxCachedNodes: *cacheNodes,
+	}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "treeschedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains with a timeout. When
+// ready is non-nil it receives the bound listener before serving starts
+// (tests use it to learn the port and to trigger shutdown).
+func run(addr string, opts *service.Options, ready chan<- net.Listener) error {
+	srv := service.New(opts)
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// The handler takes a worker-pool slot before reading the body,
+		// so a slow client trickling bytes pins a slot for at most
+		// ReadTimeout — the bound on how long one connection can starve
+		// the pool. 60s admits an in-limit tree at ~2MB/s; raise it for
+		// genuinely slow links, at the cost of longer starvation waves
+		// from hostile tricklers. WriteTimeout is server-paced (traces
+		// can be large) and stays generous.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "treeschedd: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
+}

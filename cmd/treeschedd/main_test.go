@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end: boot the daemon on an ephemeral port, schedule over HTTP,
+// read stats, then shut down cleanly via the signal path.
+func TestServeScheduleShutdown(t *testing.T) {
+	ready := make(chan net.Listener, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", nil, ready)
+	}()
+	var ln net.Listener
+	select {
+	case ln = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("healthz: %q", got)
+	}
+	body := `{"synthetic":{"seed":1,"nodes":200}}`
+	resp, err := http.Post(base+"/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "makespan") {
+		t.Fatalf("schedule: %d %s", resp.StatusCode, b)
+	}
+	if got := get("/statsz"); !strings.Contains(got, `"served":1`) {
+		t.Fatalf("statsz: %q", got)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down on SIGINT")
+	}
+}

@@ -3,13 +3,15 @@ package core
 import "fmt"
 
 // ErrDeadlock is returned by an execution engine — the discrete-event
-// simulator (internal/sim) or the live executor (internal/executor) —
-// when the scheduler can make no progress: no task is running and none
-// can be launched, yet the tree is unfinished. Activation and
+// simulator (internal/sim), the live executor (internal/executor), the
+// moldable simulator (internal/moldable) or the distributed engine
+// (internal/distributed) — when the scheduler can make no progress: no
+// task is running (and, distributed, nothing is in flight) and none can
+// be launched, yet the tree is unfinished. Activation and
 // MemBookingRedTree hit it when the memory bound is too small;
 // MemBooking never does while M ≥ peak(AO) (Theorem 1). It lives here,
-// next to the Scheduler interface, so both engines share one type and
-// callers can match either engine's deadlock with errors.As.
+// next to the Scheduler interface, so all four engines share one type
+// and callers can match any engine's deadlock with a single errors.As.
 type ErrDeadlock struct {
 	Scheduler string
 	Finished  int

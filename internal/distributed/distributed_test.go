@@ -1,11 +1,13 @@
 package distributed_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/order"
 	"repro/internal/sim"
@@ -169,6 +171,15 @@ func TestDistributedDeadlockDetected(t *testing.T) {
 	_, err := distributed.Run(tr, plat, []int32{0}, ao, ao)
 	if _, ok := err.(*distributed.ErrDeadlock); !ok {
 		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// distributed.ErrDeadlock is an alias of core.ErrDeadlock: the same
+	// errors.As target matches every engine's deadlock.
+	var dead *core.ErrDeadlock
+	if !errors.As(err, &dead) {
+		t.Fatalf("errors.As(core.ErrDeadlock) failed on %v", err)
+	}
+	if dead.Scheduler != "distributed" || dead.Total != 1 {
+		t.Fatalf("deadlock fields wrong: %+v", dead)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/order"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
@@ -28,13 +29,20 @@ type Result struct {
 
 // ErrDeadlock reports a stalled distributed execution: nothing runs,
 // nothing is in flight, and no memory can be freed to admit more work.
-type ErrDeadlock struct {
-	Finished, Total int
-}
+// It is an alias of core.ErrDeadlock — the one deadlock type shared by
+// all four engines (sim, executor, moldable, distributed) — with
+// Scheduler set to "distributed" and Booked the total booked memory
+// summed over the domains, so errors.As matches every engine's
+// deadlock with a single target.
+type ErrDeadlock = core.ErrDeadlock
 
-func (e *ErrDeadlock) Error() string {
-	return fmt.Sprintf("distributed: deadlock after %d/%d tasks (per-domain memory exhausted)",
-		e.Finished, e.Total)
+// deadlock builds the typed error from the per-domain booked totals.
+func deadlock(finished, total int, booked []float64) *ErrDeadlock {
+	sum := 0.0
+	for _, b := range booked {
+		sum += b
+	}
+	return &ErrDeadlock{Scheduler: "distributed", Finished: finished, Total: total, Booked: sum}
 }
 
 // Run executes t on the platform with the given task→domain mapping,
@@ -228,7 +236,7 @@ func Run(t *tree.Tree, plat *Platform, domainOf []int32, ao, eo *order.Order) (*
 		return nil, err
 	}
 	if running == 0 && finished < n {
-		return nil, &ErrDeadlock{Finished: finished, Total: n}
+		return nil, deadlock(finished, n, booked)
 	}
 
 	for events.Len() > 0 {
@@ -250,7 +258,7 @@ func Run(t *tree.Tree, plat *Platform, domainOf []int32, ao, eo *order.Order) (*
 			return nil, err
 		}
 		if running == 0 && inFlight == 0 && finished < n {
-			return nil, &ErrDeadlock{Finished: finished, Total: n}
+			return nil, deadlock(finished, n, booked)
 		}
 	}
 	if finished != n {

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestInstanceCacheMemoizesAndForgets(t *testing.T) {
+	c := NewInstanceCache()
+	tr := workload.MustSynthetic(workload.NewRNG(3), workload.SyntheticOptions{Nodes: 200})
+
+	pr1 := c.Prepare(tr)
+	pr2 := c.Prepare(tr)
+	if pr1.AO != pr2.AO || pr1.Peak != pr2.Peak {
+		t.Fatal("Prepare not memoized")
+	}
+	if st := c.Stats(); st.PrepRequested != 2 || st.PrepComputed != 1 {
+		t.Fatalf("stats %+v, want 2 requested / 1 computed", st)
+	}
+	// memPO is registered by the preparation; other names memoize too.
+	if o, err := c.Order(tr, order.NameMemPO); err != nil || o != pr1.AO {
+		t.Fatalf("memPO not shared with the preparation: %v %v", o, err)
+	}
+	cp1, err := c.Order(tr, order.NameCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2, _ := c.Order(tr, order.NameCP); cp2 != cp1 {
+		t.Fatal("Order not memoized")
+	}
+	if _, err := c.Order(tr, "bogus"); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+	lb := c.LowerBound(tr, 8, 2*pr1.Peak)
+	if lb <= 0 {
+		t.Fatalf("lower bound %g", lb)
+	}
+	if got := c.LowerBound(tr, 8, 2*pr1.Peak); got != lb {
+		t.Fatal("LowerBound not memoized")
+	}
+
+	c.Forget(tr)
+	if st := c.Stats(); st.PrepComputed != 1 {
+		t.Fatalf("Forget touched counters: %+v", st)
+	}
+	c.Prepare(tr)
+	if st := c.Stats(); st.PrepComputed != 2 {
+		t.Fatalf("Forget did not drop the preparation: %+v", st)
+	}
+
+	// Retain keeps only trees the predicate accepts.
+	other := workload.MustSynthetic(workload.NewRNG(4), workload.SyntheticOptions{Nodes: 100})
+	c.Prepare(other)
+	c.Retain(func(x *tree.Tree) bool { return x == other })
+	c.Prepare(other)
+	c.Prepare(tr)
+	if st := c.Stats(); st.PrepComputed != 4 {
+		t.Fatalf("Retain should have kept other and dropped tr: %+v", st)
+	}
+}

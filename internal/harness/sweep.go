@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/baseline"
-	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/order"
 	"repro/internal/perturb"
@@ -88,30 +87,19 @@ type EngineStats struct {
 // Engine evaluates simulation cells in parallel and memoizes every
 // level of the computation. One Engine is attached to each Config (see
 // Config.Engine); all experiments run through the same Config share it.
-// An Engine's public methods are safe for use from a single experiment
-// runner at a time (harness.Run is sequential); the parallelism lives
-// inside EvalAll.
+// The per-instance levels (preparation, named orders, lower bounds)
+// live in an InstanceCache (cache.go) so the serving layer can reuse
+// them; the cell memo stays here. An Engine's public methods are safe
+// for use from a single experiment runner at a time (harness.Run is
+// sequential); the parallelism lives inside EvalAll.
 type Engine struct {
 	workers   int
 	fakeClock bool
+	cache     *InstanceCache
 
-	mu     sync.Mutex
-	prep   map[*tree.Tree]prepared
-	orders map[orderKey]*order.Order
-	cells  map[cellKey]*cellEntry
-	lb     map[lbKey]float64
-	stats  EngineStats
-}
-
-type orderKey struct {
-	tree *tree.Tree
-	name string
-}
-
-type lbKey struct {
-	tree  *tree.Tree
-	procs int
-	m     float64
+	mu    sync.Mutex
+	cells map[cellKey]*cellEntry
+	stats EngineStats
 }
 
 // NewEngine returns an engine running at most workers simulations
@@ -125,18 +113,20 @@ func NewEngine(workers int, fakeClock bool) *Engine {
 	return &Engine{
 		workers:   workers,
 		fakeClock: fakeClock,
-		prep:      make(map[*tree.Tree]prepared),
-		orders:    make(map[orderKey]*order.Order),
+		cache:     NewInstanceCache(),
 		cells:     make(map[cellKey]*cellEntry),
-		lb:        make(map[lbKey]float64),
 	}
 }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() EngineStats {
+	cs := e.cache.Stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.PrepRequested = cs.PrepRequested
+	st.PrepComputed = cs.PrepComputed
+	return st
 }
 
 // newFakeClock returns a deterministic clock: each call advances one
@@ -154,76 +144,40 @@ func newFakeClock() func() time.Time {
 
 // prepare returns the per-instance artefacts shared by all runs (the
 // memPO activation order and its sequential peak), computing misses in
-// parallel and memoizing them for every later experiment on the same
-// Config.
+// parallel and memoizing them — through the InstanceCache — for every
+// later experiment on the same Config.
 func (e *Engine) prepare(insts []workload.Instance) []prepared {
+	trees := make([]*tree.Tree, len(insts))
+	for i := range insts {
+		trees[i] = insts[i].Tree
+	}
+	prs := make([]Prepared, len(insts))
+	missing := e.cache.lookupPrepBatch(trees, prs)
+	if len(missing) > 0 {
+		e.fanOut(len(missing), func(k int) {
+			i := missing[k]
+			ao, peak := order.MinMemPostOrder(trees[i])
+			prs[i] = Prepared{AO: ao, Peak: peak}
+		})
+		e.cache.storePrepBatch(trees, prs, missing)
+	}
 	out := make([]prepared, len(insts))
-	var missing []int
-	e.mu.Lock()
-	e.stats.PrepRequested += len(insts)
-	for i, inst := range insts {
-		if pr, ok := e.prep[inst.Tree]; ok {
-			out[i] = pr
-		} else {
-			missing = append(missing, i)
-		}
+	for i := range insts {
+		out[i] = prepared{inst: insts[i], ao: prs[i].AO, peak: prs[i].Peak}
 	}
-	e.stats.PrepComputed += len(missing)
-	e.mu.Unlock()
-	if len(missing) == 0 {
-		return out
-	}
-	e.fanOut(len(missing), func(k int) {
-		i := missing[k]
-		ao, peak := order.MinMemPostOrder(insts[i].Tree)
-		out[i] = prepared{inst: insts[i], ao: ao, peak: peak}
-	})
-	e.mu.Lock()
-	for _, i := range missing {
-		e.prep[insts[i].Tree] = out[i]
-		e.orders[orderKey{insts[i].Tree, order.NameMemPO}] = out[i].ao
-	}
-	e.mu.Unlock()
 	return out
 }
 
 // orderByName returns the named order for t, memoized per tree (memPO
 // comes from the preparation cache when available).
 func (e *Engine) orderByName(t *tree.Tree, name string) (*order.Order, error) {
-	e.mu.Lock()
-	if o, ok := e.orders[orderKey{t, name}]; ok {
-		e.mu.Unlock()
-		return o, nil
-	}
-	e.mu.Unlock()
-	o, _, err := order.ByName(t, name)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.orders[orderKey{t, name}] = o
-	e.mu.Unlock()
-	return o, nil
+	return e.cache.Order(t, name)
 }
 
 // lowerBound returns bounds.Best(t, p, m), memoized; errors are folded
 // to zero exactly as normalization treats them.
 func (e *Engine) lowerBound(t *tree.Tree, p int, m float64) float64 {
-	k := lbKey{t, p, m}
-	e.mu.Lock()
-	if lb, ok := e.lb[k]; ok {
-		e.mu.Unlock()
-		return lb
-	}
-	e.mu.Unlock()
-	lb, err := bounds.Best(t, p, m)
-	if err != nil {
-		lb = 0
-	}
-	e.mu.Lock()
-	e.lb[k] = lb
-	e.mu.Unlock()
-	return lb
+	return e.cache.LowerBound(t, p, m)
 }
 
 // normalize returns the makespan divided by the best lower bound (the

@@ -1,6 +1,7 @@
 package moldable_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -183,6 +184,26 @@ func TestMoldableDegradesUnderMemoryPressure(t *testing.T) {
 	}
 	if res.MaxWidth != 1 || res.WideTasks != 0 {
 		t.Fatalf("task widened despite unaffordable workspace: %+v", res)
+	}
+}
+
+// A bound below any single task's need can never make progress; the
+// moldable simulator must report it as the shared typed core.ErrDeadlock
+// (the same target errors.As matches for sim, executor and distributed).
+func TestMoldableDeadlockIsTyped(t *testing.T) {
+	tr := tree.MustNew([]tree.NodeID{tree.None}, []float64{5}, []float64{5}, nil)
+	ao, _ := order.MinMemPostOrder(tr)
+	ms, err := moldable.NewMemBookingMoldable(tr, 5, ao, ao, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = moldable.Run(tr, 2, ms, nil, nil)
+	var dead *core.ErrDeadlock
+	if !errors.As(err, &dead) {
+		t.Fatalf("want core.ErrDeadlock, got %v", err)
+	}
+	if dead.Finished != 0 || dead.Total != 1 {
+		t.Fatalf("deadlock fields wrong: %+v", dead)
 	}
 }
 

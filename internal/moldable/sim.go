@@ -5,9 +5,16 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
 )
+
+// ErrDeadlock is returned when the scheduler can make no progress. It
+// is an alias of core.ErrDeadlock — the one deadlock type shared by all
+// four engines (sim, executor, moldable, distributed) — so errors.As
+// matches a moldable deadlock with the same target as any other.
+type ErrDeadlock = core.ErrDeadlock
 
 // Result summarises a moldable simulation.
 type Result struct {
@@ -114,7 +121,7 @@ func Run(t *tree.Tree, p int, s Scheduler, prof *Profile, opts *Options) (*Resul
 		return nil, err
 	}
 	if running == 0 && finished < n {
-		return nil, fmt.Errorf("moldable: %s deadlocked at start", s.Name())
+		return nil, &ErrDeadlock{Scheduler: s.Name(), Finished: finished, Total: n, Booked: s.BookedMemory()}
 	}
 
 	var batch []tree.NodeID
@@ -149,7 +156,7 @@ func Run(t *tree.Tree, p int, s Scheduler, prof *Profile, opts *Options) (*Resul
 			return nil, err
 		}
 		if running == 0 && finished < n {
-			return nil, fmt.Errorf("moldable: %s deadlocked after %d/%d tasks", s.Name(), finished, n)
+			return nil, &ErrDeadlock{Scheduler: s.Name(), Finished: finished, Total: n, Booked: s.BookedMemory()}
 		}
 	}
 	if finished != n {

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/tree"
+)
+
+// treeCache canonicalises submitted trees by content: two submissions
+// with byte-identical node data resolve to the same *tree.Tree, so the
+// pointer-keyed harness.InstanceCache behind it memoizes the O(n log n)
+// preparation (memPO + peak), named orders and lower bounds across
+// requests — repeated submissions of the same tree skip all of it.
+//
+// The key is content-derived exactly like perturb.Seed derives
+// realisation seeds: an FNV-64a over the node count, parents and the
+// bit patterns of the attributes. A 64-bit digest can collide in
+// principle, so a hit additionally verifies full content equality and
+// falls back to a miss on mismatch (never serving another tree's
+// results); the verification is O(n) but allocation-free and far below
+// the cost of the preparation it saves.
+type treeCache struct {
+	inst *harness.InstanceCache
+
+	mu       sync.Mutex
+	byKey    map[uint64]*tree.Tree
+	max      int // entry-count cap
+	maxNodes int // total-node cap across all resident trees
+	nodes    int // current total
+	hits     int
+	misses   int
+}
+
+func newTreeCache(maxEntries, maxNodes int) *treeCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	return &treeCache{
+		inst:     harness.NewInstanceCache(),
+		byKey:    make(map[uint64]*tree.Tree, maxEntries),
+		max:      maxEntries,
+		maxNodes: maxNodes,
+	}
+}
+
+// contentKey digests the node data of t.
+func contentKey(t *tree.Tree) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v int32) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	put32(int32(t.Len()))
+	for i := 0; i < t.Len(); i++ {
+		id := tree.NodeID(i)
+		put32(int32(t.Parent(id)))
+		putF(t.Exec(id))
+		putF(t.Out(id))
+		putF(t.Time(id))
+	}
+	return h.Sum64()
+}
+
+// sameContent reports whether a and b describe identical trees.
+func sameContent(a, b *tree.Tree) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		id := tree.NodeID(i)
+		if a.Parent(id) != b.Parent(id) ||
+			a.Exec(id) != b.Exec(id) ||
+			a.Out(id) != b.Out(id) ||
+			a.Time(id) != b.Time(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// canonical returns the cache-resident tree with t's content (a hit,
+// counting one) or inserts t as the new canonical instance (a miss,
+// evicting an arbitrary entry — and its memoized artefacts — when the
+// cache is full). The returned key is the content digest, which also
+// names the instance for content-derived perturbation seeds.
+func (c *treeCache) canonical(t *tree.Tree) (ct *tree.Tree, key uint64, hit bool) {
+	key = contentKey(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got, collided := c.byKey[key]
+	if collided && sameContent(got, t) {
+		c.hits++
+		return got, key, true
+	}
+	c.misses++
+	evicted := false
+	if collided {
+		// Digest collision: the newcomer replaces the resident tree.
+		delete(c.byKey, key)
+		c.nodes -= got.Len()
+		c.inst.Forget(got)
+		evicted = true
+	}
+	// Evict until both budgets hold — the entry count and the total node
+	// count, which bounds resident memory when every entry is large.
+	for len(c.byKey) > 0 && (len(c.byKey) >= c.max || c.nodes+t.Len() > c.maxNodes) {
+		for k, old := range c.byKey {
+			delete(c.byKey, k)
+			c.nodes -= old.Len()
+			c.inst.Forget(old)
+			break
+		}
+		evicted = true
+	}
+	c.byKey[key] = t
+	c.nodes += t.Len()
+	if evicted {
+		// A request that looked its tree up before this eviction may
+		// store artefacts for it afterwards, orphaning them in the
+		// instance cache; sweeping against the live set here bounds such
+		// orphans to the races in flight since the previous eviction.
+		live := make(map[*tree.Tree]bool, len(c.byKey))
+		for _, lt := range c.byKey {
+			live[lt] = true
+		}
+		c.inst.Retain(func(t *tree.Tree) bool { return live[t] })
+	}
+	return t, key, false
+}
+
+// snapshot returns (hits, misses, entries, totalNodes).
+func (c *treeCache) snapshot() (hits, misses, entries, totalNodes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.byKey), c.nodes
+}

@@ -1,0 +1,615 @@
+// Package service is the request-serving layer over the paper's
+// schedulers: a long-running HTTP/JSON API (command treeschedd) that
+// accepts task trees — as .tree payloads or synthetic/grid instance
+// specs — runs the requested heuristic through the discrete-event
+// simulator, and returns the makespan, memory behaviour, lower bounds
+// and (optionally) the schedule trace.
+//
+// The service is built for repeated traffic over a working set of
+// trees, the way sparse-solver runtimes resubmit the same assembly
+// trees with different bounds or heuristics: submissions are
+// canonicalised by content (cache.go) onto the sweep engine's
+// per-instance memoization, so only the first sight of a tree pays the
+// O(n log n) preparation. Every request — parsing and preparation
+// included, since hostile bytes reach both — runs on a bounded worker
+// pool, and admission control rejects up front — with 422 and the
+// numbers in the body — any request whose memory bound is below the
+// activation order's sequential peak, the exact class Theorem 1 cannot
+// protect from deadlocking a worker.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/baseline"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/perturb"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// Options configures a Server. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Procs is the processor count used when a request omits one
+	// (default 8, the paper's platform).
+	Procs int
+	// MemFactor is the default normalised memory bound: bound =
+	// MemFactor × the instance's minimal sequential peak (default 2).
+	MemFactor float64
+	// MaxNodes caps the size of any accepted tree; larger submissions
+	// (or specs that would generate larger trees) get 413 (default 2^20).
+	MaxNodes int
+	// Workers bounds the number of simulations running concurrently;
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// MaxCachedTrees caps the content cache's entry count (default 256);
+	// on overflow an arbitrary tree and its memoized artefacts are
+	// evicted.
+	MaxCachedTrees int
+	// MaxCachedNodes caps the content cache's total node count (default
+	// 2^23 ≈ 8M — a couple hundred MB of trees plus artefacts), so a
+	// client cannot pin MaxCachedTrees × MaxNodes worth of memory by
+	// submitting distinct maximal trees. Raised to MaxNodes when set
+	// below it, so every accepted tree is cacheable.
+	MaxCachedNodes int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Procs: 8, MemFactor: 2, MaxNodes: 1 << 20, Workers: runtime.GOMAXPROCS(0), MaxCachedTrees: 256, MaxCachedNodes: 1 << 23}
+	if o == nil {
+		return out
+	}
+	if o.Procs > 0 {
+		out.Procs = o.Procs
+	}
+	if o.MemFactor > 0 {
+		out.MemFactor = o.MemFactor
+	}
+	if o.MaxNodes > 0 {
+		out.MaxNodes = o.MaxNodes
+	}
+	if o.Workers > 0 {
+		out.Workers = o.Workers
+	}
+	if o.MaxCachedTrees > 0 {
+		out.MaxCachedTrees = o.MaxCachedTrees
+	}
+	if o.MaxCachedNodes > 0 {
+		out.MaxCachedNodes = o.MaxCachedNodes
+	}
+	// Any accepted tree must be cacheable, or an oversized submission
+	// would flush the whole cache and then sit above the budget anyway.
+	if out.MaxCachedNodes < out.MaxNodes {
+		out.MaxCachedNodes = out.MaxNodes
+	}
+	return out
+}
+
+// Request is one scheduling submission. Exactly one instance source —
+// Tree, Synthetic, Grid2D or Grid3D — must be set.
+type Request struct {
+	// Tree is the instance in the .tree text format.
+	Tree string `json:"tree,omitempty"`
+	// Synthetic generates an instance with the paper's synthetic
+	// distribution (§7.1).
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+	// Grid2D / Grid3D factor an n×n (n×n×n) grid under nested dissection
+	// and schedule its assembly tree.
+	Grid2D *GridSpec `json:"grid2d,omitempty"`
+	Grid3D *GridSpec `json:"grid3d,omitempty"`
+
+	// Heuristic is MemBooking (default), Activation or MemBookingRedTree.
+	Heuristic string `json:"heuristic,omitempty"`
+	// Procs overrides the server's default processor count.
+	Procs int `json:"procs,omitempty"`
+	// Mem is the absolute memory bound; when 0, MemFactor × the minimal
+	// sequential peak is used instead.
+	Mem float64 `json:"mem,omitempty"`
+	// MemFactor is the normalised bound (ignored when Mem is set); 0
+	// selects the server default.
+	MemFactor float64 `json:"mem_factor,omitempty"`
+	// AO and EO name the activation and execution orders (see
+	// order.ByName). AO defaults to memPO; EO defaults to the activation
+	// order, as every harness experiment does.
+	AO string `json:"ao,omitempty"`
+	EO string `json:"eo,omitempty"`
+	// Perturb names a duration-perturbation model from
+	// perturb.DefaultModels (e.g. "lognormal(0.3)"): the scheduler works
+	// from nominal data while the simulator executes the realisation
+	// derived from PerturbSeed.
+	Perturb     string `json:"perturb,omitempty"`
+	PerturbSeed uint64 `json:"perturb_seed,omitempty"`
+	// Trace requests the schedule trace (one span per task) in the
+	// response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SyntheticSpec generates a synthetic tree (§7.1 distribution).
+type SyntheticSpec struct {
+	Seed  uint64 `json:"seed"`
+	Nodes int    `json:"nodes"`
+}
+
+// GridSpec names a regular grid to factor.
+type GridSpec struct {
+	N            int `json:"n"`
+	Amalgamation int `json:"amalgamation,omitempty"`
+}
+
+// Span is one task execution in the returned trace.
+type Span struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Response reports one scheduled instance.
+type Response struct {
+	Nodes       int     `json:"nodes"`
+	Heuristic   string  `json:"heuristic"`
+	Procs       int     `json:"procs"`
+	Mem         float64 `json:"mem"`
+	MinMemory   float64 `json:"min_memory"`
+	Makespan    float64 `json:"makespan"`
+	PeakMem     float64 `json:"peak_mem"`
+	PeakBooked  float64 `json:"peak_booked"`
+	LowerBound  float64 `json:"lower_bound"`
+	ClassicalLB float64 `json:"classical_lb"`
+	MemoryLB    float64 `json:"memory_lb"`
+	Utilization float64 `json:"utilization"`
+	Events      int     `json:"events"`
+	Trace       []Span  `json:"trace,omitempty"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	// CacheHits / CacheMisses count prepared-instance cache lookups;
+	// CachedTrees and CachedNodes are the current number of canonical
+	// trees resident and their total node count.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	CachedTrees int `json:"cached_trees"`
+	CachedNodes int `json:"cached_nodes"`
+	// InFlight counts requests currently holding a worker slot.
+	InFlight int64 `json:"in_flight"`
+	// Served counts completed 200 responses; Rejected counts 4xx.
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+	// Workers is the worker-pool width.
+	Workers int `json:"workers"`
+}
+
+// errorBody is every non-200 payload. Bound and MinMemory are set on
+// admission-control rejections (422) so the client can see how far off
+// its bound was.
+type errorBody struct {
+	Error     string  `json:"error"`
+	Bound     float64 `json:"bound,omitempty"`
+	MinMemory float64 `json:"min_memory,omitempty"`
+}
+
+type httpError struct {
+	status int
+	body   errorBody
+}
+
+func fail(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, body: errorBody{Error: fmt.Sprintf(format, args...)}}
+}
+
+// Server is the scheduling service. Create one with New; it is safe
+// for concurrent use.
+type Server struct {
+	opts  Options
+	cache *treeCache
+	sem   chan struct{}
+
+	inFlight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+// New returns a Server with the given options (nil selects defaults).
+func New(opts *Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		opts:  o,
+		cache: newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
+		sem:   make(chan struct{}, o.Workers),
+	}
+}
+
+// Handler returns the HTTP API: POST /schedule, GET /healthz,
+// GET /statsz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schedule", s.handleSchedule)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	hits, misses, entries, nodes := s.cache.snapshot()
+	return Stats{
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CachedTrees: entries,
+		CachedNodes: nodes,
+		InFlight:    s.inFlight.Load(),
+		Served:      s.served.Load(),
+		Rejected:    s.rejected.Load(),
+		Workers:     s.opts.Workers,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	// One worker slot per request, taken before the body is even read:
+	// buffering and decoding a ~100MB payload is as attacker-reachable
+	// as the simulation, so the pool — not the accept loop — must bound
+	// all of it. Rejections give the slot back fast, and a client that
+	// disconnects while queued stops waiting instead of burning a slot
+	// on work nobody will read.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	// A .tree line is at least ~10 bytes, so this bounds the body well
+	// above any in-limit tree while stopping unbounded uploads early.
+	limit := int64(s.opts.MaxNodes)*128 + 1<<20
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, fail(http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit))
+			return
+		}
+		s.reject(w, fail(http.StatusBadRequest, "bad request: %v", err))
+		return
+	}
+	resp, herr := s.schedule(&req)
+	if herr != nil {
+		s.reject(w, herr)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) reject(w http.ResponseWriter, e *httpError) {
+	if e.status < http.StatusInternalServerError {
+		s.rejected.Add(1)
+	}
+	writeJSON(w, e.status, e.body)
+}
+
+// schedule evaluates one request: the HTTP-free core of the handler.
+// The caller holds a worker-pool slot for the duration.
+func (s *Server) schedule(req *Request) (*Response, *httpError) {
+	t, herr := s.materialise(req)
+	if herr != nil {
+		return nil, herr
+	}
+	// Canonicalise by content: a repeat submission lands on the cached
+	// tree pointer and every per-instance artefact below is a cache hit.
+	ct, key, _ := s.cache.canonical(t)
+	pr := s.cache.inst.Prepare(ct)
+
+	procs := req.Procs
+	if procs == 0 {
+		procs = s.opts.Procs
+	}
+	if procs < 1 {
+		return nil, fail(http.StatusBadRequest, "procs must be positive, got %d", procs)
+	}
+
+	ao := pr.AO
+	if req.AO != "" && req.AO != order.NameMemPO {
+		o, err := s.cache.inst.Order(ct, req.AO)
+		if err != nil {
+			return nil, fail(http.StatusBadRequest, "bad activation order: %v", err)
+		}
+		if !o.Topological {
+			return nil, fail(http.StatusBadRequest, "activation order %q is not topological", req.AO)
+		}
+		ao = o
+	}
+	eo := ao
+	if req.EO != "" {
+		o, err := s.cache.inst.Order(ct, req.EO)
+		if err != nil {
+			return nil, fail(http.StatusBadRequest, "bad execution order: %v", err)
+		}
+		eo = o
+	}
+
+	m := req.Mem
+	if m == 0 {
+		f := req.MemFactor
+		if f == 0 {
+			f = s.opts.MemFactor
+		}
+		if f < 0 {
+			return nil, fail(http.StatusBadRequest, "mem_factor must be positive, got %g", f)
+		}
+		m = f * pr.Peak
+	}
+	if !(m > 0) || math.IsInf(m, 0) {
+		// NaN and +Inf reach here through factor × peak overflow or an
+		// instance whose attribute sums overflow; a non-finite bound can
+		// only produce a non-encodable result.
+		return nil, fail(http.StatusBadRequest, "memory bound must be positive and finite, got %g", m)
+	}
+
+	// Admission control: below the activation order's sequential peak,
+	// Theorem 1's no-deadlock guarantee is void and a worker could stall
+	// to no effect. Reject before any simulation work, with both numbers
+	// in the body. (peak(AO) for the default AO is the memoized
+	// preparation; a custom AO costs one O(n) scan.)
+	needed := pr.Peak
+	if ao != pr.AO {
+		p, err := order.PeakMemory(ct, ao.Seq)
+		if err != nil {
+			return nil, fail(http.StatusBadRequest, "bad activation order: %v", err)
+		}
+		needed = p
+	}
+	if m < needed {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, body: errorBody{
+			Error:     fmt.Sprintf("memory bound %g below the activation order's sequential peak %g: the schedule could deadlock", m, needed),
+			Bound:     m,
+			MinMemory: needed,
+		}}
+	}
+
+	var factors []float64
+	if req.Perturb != "" {
+		model, ok := findModel(req.Perturb)
+		if !ok {
+			return nil, fail(http.StatusBadRequest, "unknown perturbation model %q (see perturb.DefaultModels)", req.Perturb)
+		}
+		// The instance key is the content digest, so the realisation is a
+		// pure function of (request seed, model, tree content) — identical
+		// submissions replay identical realisations.
+		seed := perturb.Seed(req.PerturbSeed, model, fmt.Sprintf("%016x", key))
+		factors = model.Factors(ct.Len(), seed)
+	}
+
+	var (
+		sched core.Scheduler
+		run   = ct
+		err   error
+	)
+	switch h := req.Heuristic; h {
+	case "", "MemBooking":
+		sched, err = core.NewMemBooking(ct, m, ao, eo)
+	case "Activation":
+		sched, err = baseline.NewActivation(ct, m, ao, eo)
+	case "MemBookingRedTree":
+		var rs *baseline.MemBookingRedTree
+		rs, err = baseline.NewMemBookingRedTree(ct, m, ao, eo)
+		if err == nil {
+			sched, run = rs, rs.Tree()
+		}
+	default:
+		return nil, fail(http.StatusBadRequest, "unknown heuristic %q", h)
+	}
+	if err != nil {
+		return nil, fail(http.StatusBadRequest, "building scheduler: %v", err)
+	}
+	if factors != nil {
+		// The scheduler above was built from — and bounded by — the
+		// nominal tree; only the executed durations change. For RedTree
+		// the run tree's first Len(ct) nodes map one-to-one onto the
+		// nominal tasks, so the nominal factor vector applies.
+		run, err = perturb.Apply(run, factors)
+		if err != nil {
+			return nil, fail(http.StatusInternalServerError, "perturbing: %v", err)
+		}
+	}
+	var rec *trace.Recorder
+	if req.Trace {
+		rec = trace.NewRecorder(run, sched)
+		sched = rec
+	}
+	res, err := sim.Run(run, procs, sched, &sim.Options{CheckMemory: true, Bound: m, NoSchedTime: true})
+	if err != nil {
+		var dead *core.ErrDeadlock
+		if errors.As(err, &dead) {
+			return nil, &httpError{status: http.StatusUnprocessableEntity, body: errorBody{
+				Error:     fmt.Sprintf("schedule deadlocked: %v", dead),
+				Bound:     m,
+				MinMemory: needed,
+			}}
+		}
+		return nil, fail(http.StatusInternalServerError, "simulation: %v", err)
+	}
+
+	// Both bounds are O(n) and depend on request-chosen (procs, m), so
+	// they are computed inline rather than through the instance cache's
+	// lower-bound memo — memoizing per (tree, procs, m) would let a
+	// client grow the map without bound by varying its mem value.
+	classical := bounds.Classical(ct, procs)
+	memLB, _ := bounds.Memory(ct, m)
+	resp := &Response{
+		Nodes:       ct.Len(),
+		Heuristic:   sched.Name(),
+		Procs:       procs,
+		Mem:         m,
+		MinMemory:   pr.Peak,
+		Makespan:    res.Makespan,
+		PeakMem:     res.PeakMem,
+		PeakBooked:  res.PeakBooked,
+		LowerBound:  max(classical, memLB),
+		ClassicalLB: classical,
+		MemoryLB:    memLB,
+		Utilization: res.Utilization(procs),
+		Events:      res.Events,
+	}
+	// Finite attributes can still sum past float64 (e.g. times near
+	// 1e308): surface that as a client error, not a marshal failure.
+	for _, v := range []float64{resp.Makespan, resp.PeakMem, resp.PeakBooked,
+		resp.LowerBound, resp.ClassicalLB, resp.MemoryLB, resp.MinMemory} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil, fail(http.StatusUnprocessableEntity, "result overflows float64: instance attributes too large")
+		}
+	}
+	if rec != nil {
+		// Spans are recorded on the run tree; for RedTree that is the
+		// reduction transform, whose first Len(ct) nodes map one-to-one
+		// onto the submitted tasks and whose appended fictitious leaves
+		// mean nothing to the client — keep only the real tasks, so the
+		// trace always has one span per submitted task.
+		spans := rec.Spans()
+		resp.Trace = make([]Span, 0, ct.Len())
+		for _, sp := range spans {
+			if int(sp.Node) < ct.Len() {
+				resp.Trace = append(resp.Trace, Span{Node: int(sp.Node), Start: sp.Start, End: sp.End})
+			}
+		}
+	}
+	return resp, nil
+}
+
+// materialise builds the instance tree from whichever source the
+// request names, enforcing the node cap before any superlinear work.
+func (s *Server) materialise(req *Request) (*tree.Tree, *httpError) {
+	sources := 0
+	if req.Tree != "" {
+		sources++
+	}
+	if req.Synthetic != nil {
+		sources++
+	}
+	if req.Grid2D != nil {
+		sources++
+	}
+	if req.Grid3D != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fail(http.StatusBadRequest, "want exactly one of tree, synthetic, grid2d, grid3d; got %d", sources)
+	}
+	switch {
+	case req.Tree != "":
+		t, err := tree.ReadLimited(strings.NewReader(req.Tree), s.opts.MaxNodes)
+		if err != nil {
+			if errors.Is(err, tree.ErrTooLarge) {
+				return nil, fail(http.StatusRequestEntityTooLarge, "%v", err)
+			}
+			return nil, fail(http.StatusBadRequest, "%v", err)
+		}
+		// The parser checks structure only; untrusted bytes must also
+		// carry sane attributes (no NaN, nothing negative).
+		if err := t.Validate(); err != nil {
+			return nil, fail(http.StatusBadRequest, "%v", err)
+		}
+		return t, nil
+	case req.Synthetic != nil:
+		n := req.Synthetic.Nodes
+		if n <= 0 {
+			return nil, fail(http.StatusBadRequest, "synthetic.nodes must be positive, got %d", n)
+		}
+		if n > s.opts.MaxNodes {
+			return nil, fail(http.StatusRequestEntityTooLarge, "synthetic.nodes %d over the %d-node limit", n, s.opts.MaxNodes)
+		}
+		t, err := workload.Synthetic(workload.NewRNG(req.Synthetic.Seed), workload.SyntheticOptions{Nodes: n})
+		if err != nil {
+			return nil, fail(http.StatusBadRequest, "synthetic: %v", err)
+		}
+		return t, nil
+	case req.Grid2D != nil:
+		return s.grid(req.Grid2D, 2)
+	default:
+		return s.grid(req.Grid3D, 3)
+	}
+}
+
+func (s *Server) grid(g *GridSpec, dim int) (*tree.Tree, *httpError) {
+	if g.N <= 0 {
+		return nil, fail(http.StatusBadRequest, "grid n must be positive, got %d", g.N)
+	}
+	// The elimination tree has one node per unknown (n^dim) before
+	// amalgamation; reject oversized grids before factoring anything.
+	nodes := g.N
+	for i := 1; i < dim; i++ {
+		if nodes > s.opts.MaxNodes/g.N {
+			return nil, fail(http.StatusRequestEntityTooLarge, "grid%dd n=%d over the %d-node limit", dim, g.N, s.opts.MaxNodes)
+		}
+		nodes *= g.N
+	}
+	if nodes > s.opts.MaxNodes {
+		return nil, fail(http.StatusRequestEntityTooLarge, "grid%dd n=%d (%d unknowns) over the %d-node limit", dim, g.N, nodes, s.opts.MaxNodes)
+	}
+	am := g.Amalgamation
+	if am <= 0 {
+		am = 1
+	}
+	var (
+		p      *sparse.Pattern
+		coords [][3]int32
+		leaf   int
+	)
+	if dim == 2 {
+		p, coords = sparse.Grid2D(g.N, g.N)
+		leaf = 8
+	} else {
+		p, coords = sparse.Grid3D(g.N, g.N, g.N)
+		leaf = 12
+	}
+	res, err := sparse.AssemblyTree(p, sparse.NestedDissection(coords, leaf),
+		&sparse.AssemblyOptions{Amalgamation: am})
+	if err != nil {
+		return nil, fail(http.StatusBadRequest, "grid%dd: %v", dim, err)
+	}
+	return res.Tree, nil
+}
+
+// findModel resolves a perturbation-model name against the default grid.
+func findModel(name string) (perturb.Model, bool) {
+	for _, m := range perturb.DefaultModels() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return perturb.Model{}, false
+}

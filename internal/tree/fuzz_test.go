@@ -19,6 +19,13 @@ func FuzzRead(f *testing.F) {
 	f.Add("0 1\n")
 	f.Add("0 -1 NaN 1 1\n")
 	f.Add("0 -1 -5 1 1\n")
+	f.Add("0 -1 inf 1 1\n")
+	f.Add("0 -1 1 1 -inf\n")
+	f.Add("-2 -1 1 1 1\n")               // negative id: used to panic with index out of range
+	f.Add("1000000000000000 -1 1 1 1\n") // absurd id: used to drive unbounded allocation
+	f.Add("0 -1 1 1 1\n2000000000 0 1 1 1\n")
+	f.Add("0 4000000000000 1 1 1\n") // parent that would wrap int32
+	f.Add("1 0 1 1 1\n1 0 1 1 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		tr, err := Read(strings.NewReader(in))
 		if err != nil {
@@ -29,7 +36,8 @@ func FuzzRead(f *testing.F) {
 			// (negative/NaN) is Validate's job, so a parse success with
 			// invalid attributes is allowed — anything else is a bug.
 			if !strings.Contains(verr.Error(), "negative") &&
-				!strings.Contains(verr.Error(), "NaN") {
+				!strings.Contains(verr.Error(), "NaN") &&
+				!strings.Contains(verr.Error(), "infinite") {
 				t.Fatalf("accepted structurally invalid tree: %v", verr)
 			}
 			return

@@ -2,8 +2,10 @@ package tree
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -34,16 +36,34 @@ func Write(w io.Writer, t *Tree) error {
 
 func fmtFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 
-// Read parses the .tree format.
-func Read(r io.Reader) (*Tree, error) {
+// ErrTooLarge is wrapped by ReadLimited when the input names more nodes
+// than the caller allows; match it with errors.Is to distinguish "too
+// big" from "malformed" (a service maps the former to 413, the latter
+// to 400).
+var ErrTooLarge = errors.New("tree: input exceeds the node limit")
+
+// Read parses the .tree format. It never panics: ids are validated
+// before they index anything, and memory is bounded by the input size
+// (a line naming id k allocates nothing until the whole input has been
+// read and k is known to be a dense 0..n-1 id).
+func Read(r io.Reader) (*Tree, error) { return ReadLimited(r, 0) }
+
+// ReadLimited is Read with an upper bound on the node count: any input
+// with more than maxNodes data lines — or naming an id ≥ maxNodes — is
+// rejected as soon as the excess is seen, with an error wrapping
+// ErrTooLarge. maxNodes ≤ 0 means unlimited. This is the ingestion
+// path for untrusted bytes: hostile inputs can neither crash the
+// parser nor make it allocate beyond the limit.
+func ReadLimited(r io.Reader, maxNodes int) (*Tree, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	type row struct {
+	type entry struct {
+		id, line        int
 		parent          NodeID
 		exec, out, time float64
-		seen            bool
 	}
-	var rows []row
+	var entries []entry
+	maxID, maxIDLine := -1, 0
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -59,9 +79,20 @@ func Read(r io.Reader) (*Tree, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tree: line %d: bad id: %v", lineNo, err)
 		}
+		if id < 0 || id > math.MaxInt32-1 {
+			return nil, fmt.Errorf("tree: line %d: bad id %d (ids are 0..n-1)", lineNo, id)
+		}
+		if maxNodes > 0 && (id >= maxNodes || len(entries) >= maxNodes) {
+			return nil, fmt.Errorf("tree: line %d: %w (%d nodes allowed)", lineNo, ErrTooLarge, maxNodes)
+		}
 		p, err := strconv.Atoi(f[1])
 		if err != nil {
 			return nil, fmt.Errorf("tree: line %d: bad parent: %v", lineNo, err)
+		}
+		if p < -1 || p > math.MaxInt32-1 {
+			// Reject before the int32 conversion below can wrap a huge
+			// parent into a plausible-looking NodeID.
+			return nil, fmt.Errorf("tree: line %d: bad parent %d", lineNo, p)
 		}
 		var vals [3]float64
 		for k := 0; k < 3; k++ {
@@ -70,30 +101,39 @@ func Read(r io.Reader) (*Tree, error) {
 				return nil, fmt.Errorf("tree: line %d: bad float: %v", lineNo, err)
 			}
 		}
-		for id >= len(rows) {
-			rows = append(rows, row{})
+		entries = append(entries, entry{id, lineNo, NodeID(p), vals[0], vals[1], vals[2]})
+		if id > maxID {
+			maxID, maxIDLine = id, lineNo
 		}
-		if rows[id].seen {
-			return nil, fmt.Errorf("tree: line %d: duplicate id %d", lineNo, id)
-		}
-		rows[id] = row{NodeID(p), vals[0], vals[1], vals[2], true}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
+	if len(entries) == 0 {
 		return nil, fmt.Errorf("tree: empty input")
 	}
-	parent := make([]NodeID, len(rows))
-	exec := make([]float64, len(rows))
-	out := make([]float64, len(rows))
-	tm := make([]float64, len(rows))
-	for i, r := range rows {
-		if !r.seen {
-			return nil, fmt.Errorf("tree: missing node %d", i)
-		}
-		parent[i], exec[i], out[i], tm[i] = r.parent, r.exec, r.out, r.time
+	n := len(entries)
+	if maxID >= n {
+		// IDs must be dense 0..n-1, so an id at or beyond the data-line
+		// count can never be valid — and node storage is only allocated
+		// once this holds, so one hostile line cannot demand unbounded
+		// memory.
+		return nil, fmt.Errorf("tree: line %d: bad id %d in %d-line input (ids are 0..n-1)", maxIDLine, maxID, n)
 	}
+	parent := make([]NodeID, n)
+	exec := make([]float64, n)
+	out := make([]float64, n)
+	tm := make([]float64, n)
+	seen := make([]int, n)
+	for _, e := range entries {
+		if seen[e.id] != 0 {
+			return nil, fmt.Errorf("tree: line %d: duplicate id %d (first on line %d)", e.line, e.id, seen[e.id])
+		}
+		seen[e.id] = e.line
+		parent[e.id], exec[e.id], out[e.id], tm[e.id] = e.parent, e.exec, e.out, e.time
+	}
+	// n entries with distinct ids below n cover every id: no missing-node
+	// scan is needed.
 	return New(parent, exec, out, tm)
 }
 

@@ -1,0 +1,84 @@
+package tree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression: a negative id used to index rows[-2] and panic; hostile
+// ids must produce a "bad id" error instead (never a crash).
+func TestReadRejectsNegativeID(t *testing.T) {
+	for _, in := range []string{
+		"-2 -1 1 1 1",   // the original crashing input
+		"-2 -1 1 1 1\n", // with trailing newline
+		"0 -1 1 1 1\n-7 0 1 1 1\n",
+	} {
+		tr, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("Read(%q) accepted a negative id: %v", in, tr)
+		}
+		if !strings.Contains(err.Error(), "bad id") {
+			t.Errorf("Read(%q) error = %q, want a %q error", in, err, "bad id")
+		}
+	}
+}
+
+// Absurd ids must not allocate node storage proportional to the id: a
+// two-line input naming id 10^15 is rejected with a bad-id error.
+func TestReadRejectsAbsurdID(t *testing.T) {
+	for _, in := range []string{
+		"1000000000000000 -1 1 1 1\n",         // > MaxInt32
+		"0 -1 1 1 1\n2000000000 0 1 1 1\n",    // fits int32, sparse beyond line count
+		"7 -1 1 1 1\n",                        // single line, id beyond n-1
+		"0 9999999999999999999999 1 1 1\n",    // parent overflows int
+		"0 -1 1 1 1\n1 4000000000000 1 1 1\n", // parent would wrap int32
+	} {
+		if tr, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) accepted: %v", in, tr)
+		}
+	}
+}
+
+func TestReadDuplicateIDReportsBothLines(t *testing.T) {
+	_, err := Read(strings.NewReader("0 -1 1 1 1\n1 0 1 1 1\n1 0 2 2 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate id 1") {
+		t.Fatalf("want duplicate-id error, got %v", err)
+	}
+}
+
+func TestReadLimited(t *testing.T) {
+	ok := "0 -1 1 1 1\n1 0 1 1 1\n2 0 1 1 1\n"
+	if _, err := ReadLimited(strings.NewReader(ok), 3); err != nil {
+		t.Fatalf("ReadLimited at the limit: %v", err)
+	}
+	for _, in := range []string{
+		ok,                  // one node over the limit of 2
+		"5 -1 1 1 1\n",      // id beyond the limit on the first line
+		"0 -1 1 1 1\n" + ok, // line count over the limit
+	} {
+		_, err := ReadLimited(strings.NewReader(in), 2)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("ReadLimited(%q, 2) = %v, want ErrTooLarge", in, err)
+		}
+	}
+	// Unlimited (0) still parses.
+	if _, err := ReadLimited(strings.NewReader(ok), 0); err != nil {
+		t.Fatalf("ReadLimited unlimited: %v", err)
+	}
+}
+
+// The parser remains order-insensitive and round-trippable after the
+// hardening: lines in any order, same tree back.
+func TestReadShuffledLines(t *testing.T) {
+	tr, err := Read(strings.NewReader("2 0 3 4 5\n0 -1 1 2 3\n1 0 2 3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.Root() != 0 || tr.Parent(2) != 0 {
+		t.Fatalf("unexpected tree: %+v", tr)
+	}
+	if tr.Exec(2) != 3 || tr.Out(2) != 4 || tr.Time(2) != 5 {
+		t.Fatalf("node 2 attributes wrong")
+	}
+}

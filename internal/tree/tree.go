@@ -388,9 +388,11 @@ func (t *Tree) WithTimes(tm []float64) (*Tree, error) {
 	return &nt, nil
 }
 
-// Validate re-checks structural invariants plus attribute sanity (no NaN,
-// no negative sizes or times). New already guarantees shape invariants;
-// Validate is for trees read from disk or produced by transforms.
+// Validate re-checks structural invariants plus attribute sanity (no
+// NaN or infinity, no negative sizes or times — strconv parses "inf"
+// and "nan" without error, so hostile text reaches here). New already
+// guarantees shape invariants; Validate is for trees read from disk or
+// produced by transforms.
 func (t *Tree) Validate() error {
 	for i := 0; i < t.Len(); i++ {
 		if t.exec[i] < 0 || t.out[i] < 0 || t.time[i] < 0 {
@@ -398,6 +400,9 @@ func (t *Tree) Validate() error {
 		}
 		if math.IsNaN(t.exec[i]) || math.IsNaN(t.out[i]) || math.IsNaN(t.time[i]) {
 			return fmt.Errorf("tree: node %d has NaN attribute", i)
+		}
+		if math.IsInf(t.exec[i], 0) || math.IsInf(t.out[i], 0) || math.IsInf(t.time[i], 0) {
+			return fmt.Errorf("tree: node %d has infinite attribute", i)
 		}
 	}
 	cp := make([]NodeID, len(t.parent))

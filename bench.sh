@@ -6,8 +6,10 @@
 # traversal cost at 100k nodes, the large-tree tier — per-scheduler
 # sched-ns/node from 10k to 1M nodes across random/chain/star/assembly
 # shapes (the Figures 5/6/13 flatness claim) — the robust sweep
-# (every duration-perturbation model over both miniature corpora), and
-# one warm treeschedd request (10k-node tree through the full HTTP
+# (every duration-perturbation model over both miniature corpora), the
+# multi-tenant cluster sweep (admission policy × load × arrival grid,
+# each cell a full job-stream simulation over one shared memory pool),
+# and one warm treeschedd request (10k-node tree through the full HTTP
 # stack with the prepared-instance cache hot).
 # Values are nanoseconds.
 set -eu
@@ -17,7 +19,7 @@ out=BENCH_sweep.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep|BenchmarkServiceRequest' \
+go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep|BenchmarkMultiSweep$|BenchmarkServiceRequest' \
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
 awk '
@@ -26,6 +28,7 @@ $1 ~ /^BenchmarkFigSuite$/ { suite=$3 }
 $1 ~ /^BenchmarkMemBookingPerEvent\/n100k/ { pernode=$5 }
 $1 ~ /^BenchmarkMinMemPostOrder/ { minmem=$3 }
 $1 ~ /^BenchmarkRobustSweep/ { robust=$3 }
+$1 ~ /^BenchmarkMultiSweep/ { multi=$3 }
 $1 ~ /^BenchmarkServiceRequest/ { svc=$3 }
 $1 ~ /^BenchmarkSchedPerEventLarge\// {
 	key=$1
@@ -39,6 +42,7 @@ END {
 	printf "  \"sched_ns_per_node\": %s,\n", (pernode == "" ? "null" : pernode)
 	printf "  \"minmem_postorder_ns\": %s,\n", (minmem == "" ? "null" : minmem)
 	printf "  \"robust_sweep_ns\": %s,\n", (robust == "" ? "null" : robust)
+	printf "  \"multi_sweep_ns\": %s,\n", (multi == "" ? "null" : multi)
 	printf "  \"service_req_ns\": %s,\n", (svc == "" ? "null" : svc)
 	printf "  \"large_tier_sched_ns_per_node\": {\n"
 	for (i = 0; i < nlt; i++)

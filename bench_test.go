@@ -467,6 +467,12 @@ func BenchmarkDistributedStudy(b *testing.B) { benchExperiment(b, "dist") }
 // sweep engine (bench.sh records it as robust_sweep_ns).
 func BenchmarkRobustSweep(b *testing.B) { benchExperiment(b, "robust") }
 
+// BenchmarkMultiSweep measures the multi-tenant cluster experiment:
+// the full admission-policy × offered-load × arrival-model grid, every
+// cell a complete job-stream simulation over one shared memory pool
+// (bench.sh records it as multi_sweep_ns).
+func BenchmarkMultiSweep(b *testing.B) { benchExperiment(b, "multi") }
+
 func BenchmarkDistributedRun(b *testing.B) {
 	t := benchTree(10000)
 	ao, peak := order.MinMemPostOrder(t)

@@ -5,13 +5,18 @@
 //
 //	treeschedd -addr :8080
 //	curl -s localhost:8080/schedule -d '{"synthetic":{"seed":1,"nodes":1000}}'
+//	curl -s localhost:8080/jobs -d '{"synthetic":{"seed":1,"nodes":1000}}'
+//	curl -s localhost:8080/jobs/1
 //	curl -s localhost:8080/statsz
 //
 // POST /schedule accepts a .tree payload ({"tree":"0 -1 1 1 1\n..."})
 // or an instance spec (synthetic / grid2d / grid3d), plus heuristic,
 // procs, mem or mem_factor, ao/eo, an optional perturbation model, and
-// trace. GET /healthz and GET /statsz report liveness and the cache /
-// worker-pool counters.
+// trace. POST /jobs enqueues the same request shape asynchronously and
+// answers 202 with a job id; GET /jobs/{id} polls the lifecycle
+// (queued → running → done/failed) and carries the result or the
+// failure. GET /healthz and GET /statsz report liveness and the cache /
+// worker-pool / job-queue counters.
 package main
 
 import (
@@ -31,13 +36,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		procs      = flag.Int("procs", 8, "default processor count per request")
-		memFactor  = flag.Float64("memfactor", 2, "default memory bound as a multiple of the minimum sequential memory")
-		maxNodes   = flag.Int("max-nodes", 1<<20, "largest accepted tree (413 beyond)")
-		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cached     = flag.Int("cache", 256, "content-cache capacity in trees")
-		cacheNodes = flag.Int("cache-nodes", 1<<23, "content-cache capacity in total nodes")
+		addr        = flag.String("addr", ":8080", "listen address")
+		procs       = flag.Int("procs", 8, "default processor count per request")
+		memFactor   = flag.Float64("memfactor", 2, "default memory bound as a multiple of the minimum sequential memory")
+		maxNodes    = flag.Int("max-nodes", 1<<20, "largest accepted tree (413 beyond)")
+		workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cached      = flag.Int("cache", 256, "content-cache capacity in trees")
+		cacheNodes  = flag.Int("cache-nodes", 1<<23, "content-cache capacity in total nodes")
+		queuedJobs  = flag.Int("max-queued-jobs", 256, "async jobs queued or running before POST /jobs answers 429")
+		queuedBytes = flag.Int64("max-queued-bytes", 1<<28, "payload bytes retained by queued/running async jobs before POST /jobs answers 429")
+		trackJobs   = flag.Int("max-jobs", 4096, "async job records retained for polling (oldest finished evicted)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -52,6 +60,9 @@ func main() {
 		Workers:        *workers,
 		MaxCachedTrees: *cached,
 		MaxCachedNodes: *cacheNodes,
+		MaxQueuedJobs:  *queuedJobs,
+		MaxQueuedBytes: *queuedBytes,
+		MaxTrackedJobs: *trackJobs,
 	}, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "treeschedd:", err)
 		os.Exit(1)

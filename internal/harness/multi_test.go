@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The multi experiment must cover the full policy × arrival × load
+// grid, complete every job in every cell (multitree.Run fails on any
+// deadlock or policy violation, so a returned table is itself the
+// deadlock-freedom witness), and report metrics in their valid ranges.
+func TestMultiStudyGridAndRanges(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Run("multi", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 4 * 3 * 3 // policies × arrivals × loads
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("multi has %d rows, want %d", len(tab.Rows), wantRows)
+	}
+	seenPolicies := map[string]bool{}
+	for _, r := range tab.Rows {
+		seenPolicies[r[0]] = true
+		if jobs := r[3]; jobs != strconv.Itoa(multiJobs) {
+			t.Fatalf("%s/%s load %s completed %s jobs, want %d", r[0], r[1], r[2], jobs, multiJobs)
+		}
+		util := cellFloat(t, r[8])
+		if util <= 0 || util > 1 {
+			t.Fatalf("%s/%s load %s: utilization %g out of (0,1]", r[0], r[1], r[2], util)
+		}
+		if bsld := cellFloat(t, r[6]); bsld < 1 {
+			t.Fatalf("%s/%s load %s: mean bounded slowdown %g below 1", r[0], r[1], r[2], bsld)
+		}
+		if frac := cellFloat(t, r[11]); frac <= 0 || frac > 1+1e-9 {
+			t.Fatalf("%s/%s load %s: peak memory fraction %g out of range", r[0], r[1], r[2], frac)
+		}
+	}
+	for _, p := range []string{"fcfs", "sbf", "fair", "easy"} {
+		if !seenPolicies[p] {
+			t.Fatalf("policy %s missing from the table", p)
+		}
+	}
+	// Load must bite: under the same policy and arrival model, the mean
+	// response at load 2 is at least the one at load 0.5.
+	get := func(policy, model, load string) float64 {
+		for _, r := range tab.Rows {
+			if r[0] == policy && r[1] == model && r[2] == load {
+				return cellFloat(t, r[4])
+			}
+		}
+		t.Fatalf("row %s/%s/%s missing", policy, model, load)
+		return 0
+	}
+	for _, pol := range []string{"fcfs", "easy"} {
+		lo, hi := get(pol, "poisson", "0.5"), get(pol, "poisson", "2")
+		if hi < lo {
+			t.Fatalf("%s: overload mean response %g below light-load %g", pol, hi, lo)
+		}
+	}
+}

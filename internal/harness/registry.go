@@ -62,6 +62,7 @@ var registry = map[string]Runner{
 	"dist":     distStudy,
 	"price":    priceStudy,
 	"robust":   robustStudy,
+	"multi":    multiStudy,
 }
 
 // Run executes the experiment with the given ID.

@@ -1,0 +1,72 @@
+package multitree
+
+import (
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// ArrivalModel generates the submission times of a job stream. Models
+// are pure functions of (seed, n, meanGap): the same triple always
+// yields the same times, so experiment cells sharing a stream are
+// byte-identical whether they run serially or in parallel.
+type ArrivalModel struct {
+	// Name identifies the model in tables ("poisson", "uniform",
+	// "burst4").
+	Name string
+	// Times returns n non-decreasing arrival times with mean
+	// inter-arrival gap meanGap, deterministic per seed.
+	Times func(seed uint64, n int, meanGap float64) []float64
+}
+
+// PoissonArrivals is the memoryless stream: i.i.d. exponential gaps of
+// mean meanGap, drawn with workload.RNG.Exp.
+func PoissonArrivals() ArrivalModel {
+	return ArrivalModel{Name: "poisson", Times: func(seed uint64, n int, meanGap float64) []float64 {
+		rng := workload.NewRNG(seed)
+		out := make([]float64, n)
+		t := 0.0
+		rate := 1 / meanGap
+		for i := range out {
+			t += rng.Exp(rate)
+			out[i] = t
+		}
+		return out
+	}}
+}
+
+// UniformArrivals is the deterministic trace: evenly spaced
+// submissions, one every meanGap (the seed is unused).
+func UniformArrivals() ArrivalModel {
+	return ArrivalModel{Name: "uniform", Times: func(_ uint64, n int, meanGap float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i+1) * meanGap
+		}
+		return out
+	}}
+}
+
+// BurstArrivals is the bursty trace: jobs arrive in simultaneous groups
+// of size, groups spaced size × meanGap apart, so the long-run rate
+// matches the other models while the instantaneous queue spikes.
+func BurstArrivals(size int) ArrivalModel {
+	if size < 1 {
+		size = 4
+	}
+	name := "burst" + strconv.Itoa(size)
+	return ArrivalModel{Name: name, Times: func(_ uint64, n int, meanGap float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i/size+1) * float64(size) * meanGap
+		}
+		return out
+	}}
+}
+
+// DefaultArrivalModels is the arrival grid of the `multi` experiment:
+// memoryless, evenly spaced and bursty traffic at the same long-run
+// rate.
+func DefaultArrivalModels() []ArrivalModel {
+	return []ArrivalModel{PoissonArrivals(), UniformArrivals(), BurstArrivals(4)}
+}

@@ -1,0 +1,372 @@
+// Package multitree simulates a multi-tenant cluster: a stream of
+// independent task-tree jobs arriving over time and competing for one
+// pool of p processors and M units of memory. It is the job-stream
+// extension of the paper's per-tree setting: an admission/partition
+// policy (policy.go) carves each admitted job a private memory slice
+// M_j ≥ peak(AO_j) out of the global bound, so Theorem 1 composes —
+// while Σ active M_j ≤ M, no admitted job can deadlock — and all
+// active jobs share the processors through one global event loop
+// (built on pqueue.EventHeap) that drives an unchanged per-tree
+// core.MemBooking scheduler per job.
+//
+// The simulation is a pure function of its inputs: identical job
+// specs, options and policy produce identical traces, which the
+// harness's `multi` experiment exploits to evaluate its policy × load
+// × arrival grid in parallel with byte-identical output.
+package multitree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/order"
+	"repro/internal/pqueue"
+	"repro/internal/tree"
+)
+
+// JobSpec is one job of the stream: a task tree and its arrival time.
+type JobSpec struct {
+	// Name identifies the job in results and errors.
+	Name string
+	// Tree is the job's task tree.
+	Tree *tree.Tree
+	// Arrival is the submission time (≥ 0).
+	Arrival float64
+}
+
+// Options configure a cluster run.
+type Options struct {
+	// Procs is the shared processor count (≥ 1).
+	Procs int
+	// Mem is the global memory pool every active slice is carved from.
+	Mem float64
+	// Policy is the admission/partition policy; nil selects FCFS with
+	// minimal slices.
+	Policy Policy
+}
+
+// JobResult is the completed lifecycle of one job.
+type JobResult struct {
+	Name  string
+	Nodes int
+	// Arrival, Start and Finish are the submission, admission and
+	// completion times; Start − Arrival is the queueing delay.
+	Arrival, Start, Finish float64
+	// Peak is peak(AO_j), the minimal deadlock-free slice; Slice is the
+	// memory the policy actually granted.
+	Peak, Slice float64
+	// Estimate is the makespan lower bound the policies ordered and
+	// reserved by (bounds.Classical at the full processor count).
+	Estimate float64
+}
+
+// Response returns the job's response time (finish − arrival).
+func (j *JobResult) Response() float64 { return j.Finish - j.Arrival }
+
+// Wait returns the queueing delay (start − arrival).
+func (j *JobResult) Wait() float64 { return j.Start - j.Arrival }
+
+// BoundedSlowdown returns max(1, response / max(runtime, tau)): the
+// standard job-stream metric, with short jobs' slowdowns damped by the
+// threshold tau.
+func (j *JobResult) BoundedSlowdown(tau float64) float64 {
+	run := j.Finish - j.Start
+	if run < tau {
+		run = tau
+	}
+	if run <= 0 {
+		return 1
+	}
+	s := j.Response() / run
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Result summarises a cluster run.
+type Result struct {
+	// Jobs holds one entry per submitted job, in submission order.
+	Jobs []JobResult
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// BusyTime is Σ t_i over all tasks of all jobs.
+	BusyTime float64
+	// PeakReserved is the maximum Σ active slices ever reserved.
+	PeakReserved float64
+	// MaxQueue and AvgQueue are the maximum and time-averaged number of
+	// jobs waiting for admission.
+	MaxQueue int
+	AvgQueue float64
+	// Events counts task completion events across all jobs.
+	Events int
+}
+
+// Utilization returns BusyTime / (p × Makespan).
+func (r *Result) Utilization(p int) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.BusyTime / (float64(p) * r.Makespan)
+}
+
+// job is the runtime state of one submitted job.
+type job struct {
+	spec JobSpec
+	idx  int // submission index
+	ao   *order.Order
+	peak float64
+	est  float64
+
+	slice     float64
+	sched     *core.MemBooking
+	remaining int
+	running   int
+	start     float64
+	estEnd    float64
+	batch     []tree.NodeID // per-round completion buffer
+}
+
+// slotRec maps a completion-event id back to its job and task; at most
+// Procs records are live at once, recycled through a free list.
+type slotRec struct {
+	job  *job
+	node tree.NodeID
+}
+
+// Run simulates the job stream under the options' policy. Per-job
+// schedulers are core.MemBooking over the job's memPO activation order,
+// so the admission invariant M_j ≥ peak(AO_j) makes every admitted job
+// deadlock-free (Theorem 1); Run surfaces core.ErrDeadlock only if a
+// policy breaks the invariant the validator here lets through (it
+// rejects slices below peak or over the free pool up front).
+func Run(specs []JobSpec, opt *Options) (*Result, error) {
+	if opt == nil || opt.Procs < 1 {
+		return nil, fmt.Errorf("multitree: need at least one processor")
+	}
+	if !(opt.Mem > 0) || math.IsInf(opt.Mem, 0) {
+		return nil, fmt.Errorf("multitree: memory pool must be positive and finite, got %g", opt.Mem)
+	}
+	pol := opt.Policy
+	if pol == nil {
+		pol = FCFS{}
+	}
+	p := opt.Procs
+
+	jobs := make([]*job, len(specs))
+	for i, sp := range specs {
+		if sp.Tree == nil || sp.Tree.Len() == 0 {
+			return nil, fmt.Errorf("multitree: job %q has no tree", sp.Name)
+		}
+		if sp.Arrival < 0 || math.IsNaN(sp.Arrival) || math.IsInf(sp.Arrival, 0) {
+			return nil, fmt.Errorf("multitree: job %q has invalid arrival %g", sp.Name, sp.Arrival)
+		}
+		ao, peak := order.MinMemPostOrder(sp.Tree)
+		if peak > opt.Mem {
+			return nil, fmt.Errorf("multitree: job %q needs %g memory, over the cluster pool %g — no slice can admit it", sp.Name, peak, opt.Mem)
+		}
+		jobs[i] = &job{spec: sp, idx: i, ao: ao, peak: peak, est: bounds.Classical(sp.Tree, p)}
+	}
+	// Arrival order: by time, submission index breaking ties.
+	byArrival := make([]*job, len(jobs))
+	copy(byArrival, jobs)
+	sort.SliceStable(byArrival, func(a, b int) bool {
+		if byArrival[a].spec.Arrival != byArrival[b].spec.Arrival {
+			return byArrival[a].spec.Arrival < byArrival[b].spec.Arrival
+		}
+		return byArrival[a].idx < byArrival[b].idx
+	})
+
+	var (
+		res       = &Result{Jobs: make([]JobResult, len(jobs))}
+		events    pqueue.EventHeap
+		slots     = make([]slotRec, p)
+		freeSlots = make([]int32, p)
+		queue     []*job // waiting for admission, arrival order
+		active    []*job // admitted, admission order
+		arrIdx    = 0
+		now       = 0.0
+		freeProcs = p
+		freeMem   = opt.Mem
+		runningT  = 0 // tasks running across all jobs
+		eps       = 1e-9 * (1 + opt.Mem)
+		idbuf     []int32 // PopBatch destination, recycled
+		finished  = 0
+	)
+	events.Grow(p)
+	for i := range freeSlots {
+		freeSlots[i] = int32(p - 1 - i) // pop order 0,1,2,…
+	}
+
+	st := &State{Procs: p, Mem: opt.Mem}
+	for finished < len(jobs) {
+		// Admission: let the policy carve slices while jobs wait.
+		if len(queue) > 0 {
+			st.Now, st.FreeProcs, st.FreeMem = now, freeProcs, freeMem
+			st.fill(queue, active)
+			ads := pol.Admit(st)
+			admitted := make(map[int]bool, len(ads))
+			// Collect first, then delete from the queue, so admission
+			// indices stay valid while the policy's list is applied.
+			for _, ad := range ads {
+				if ad.Queue < 0 || ad.Queue >= len(queue) || admitted[ad.Queue] {
+					return nil, fmt.Errorf("multitree: policy %q admitted invalid queue index %d", pol.Name(), ad.Queue)
+				}
+				j := queue[ad.Queue]
+				if ad.Slice < j.peak-eps {
+					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g below its peak %g — Theorem 1 would not hold", pol.Name(), j.spec.Name, ad.Slice, j.peak)
+				}
+				if ad.Slice > freeMem+eps {
+					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g over the free pool %g — Σ slices would exceed M", pol.Name(), j.spec.Name, ad.Slice, freeMem)
+				}
+				admitted[ad.Queue] = true
+				j.slice = ad.Slice
+				sched, err := core.NewMemBooking(j.spec.Tree, j.slice, j.ao, j.ao)
+				if err != nil {
+					return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
+				}
+				if err := sched.Init(); err != nil {
+					return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
+				}
+				j.sched = sched
+				j.remaining = j.spec.Tree.Len()
+				j.start = now
+				j.estEnd = now + j.est
+				freeMem -= j.slice
+				active = append(active, j)
+			}
+			if len(admitted) > 0 {
+				kept := queue[:0]
+				for qi, j := range queue {
+					if !admitted[qi] {
+						kept = append(kept, j)
+					}
+				}
+				queue = kept
+				if reserved := opt.Mem - freeMem; reserved > res.PeakReserved {
+					res.PeakReserved = reserved
+				}
+			}
+		}
+
+		// Dispatch: offer the free processors to active jobs in admission
+		// order (greedy and deterministic; a job starved this round gets
+		// its chance at the next completion).
+		for _, j := range active {
+			if freeProcs == 0 {
+				break
+			}
+			sel := j.sched.Select(freeProcs)
+			for _, nid := range sel {
+				if freeProcs == 0 {
+					return nil, fmt.Errorf("multitree: job %q over-selected tasks", j.spec.Name)
+				}
+				slot := freeSlots[len(freeSlots)-1]
+				freeSlots = freeSlots[:len(freeSlots)-1]
+				slots[slot] = slotRec{job: j, node: nid}
+				d := j.spec.Tree.Time(nid)
+				events.Push(now+d, slot)
+				res.BusyTime += d
+				freeProcs--
+				j.running++
+				runningT++
+			}
+		}
+
+		// Progress check: with every active slice ≥ its peak, an active
+		// job with no running task can always launch (Theorem 1), so a
+		// globally idle cluster with active jobs is a policy/scheduler
+		// invariant violation, surfaced as the shared deadlock type.
+		if runningT == 0 && len(active) > 0 {
+			j := active[0]
+			return nil, fmt.Errorf("multitree: job %q stalled the cluster: %w", j.spec.Name,
+				&core.ErrDeadlock{Scheduler: j.sched.Name(), Finished: j.spec.Tree.Len() - j.remaining,
+					Total: j.spec.Tree.Len(), Booked: j.sched.BookedMemory()})
+		}
+		if runningT == 0 && arrIdx >= len(byArrival) {
+			if len(queue) > 0 {
+				// Nothing running, nothing arriving, memory fully free —
+				// the policy refused every admissible job.
+				return nil, fmt.Errorf("multitree: policy %q admitted nothing on an idle cluster with %d queued jobs", pol.Name(), len(queue))
+			}
+			break // all jobs done
+		}
+
+		// Advance to the next instant: the earlier of the next completion
+		// and the next arrival; both are drained when they coincide.
+		tNext := math.Inf(1)
+		if events.Len() > 0 {
+			tNext = events.Min().Time
+		}
+		if arrIdx < len(byArrival) && byArrival[arrIdx].spec.Arrival < tNext {
+			tNext = byArrival[arrIdx].spec.Arrival
+		}
+		res.AvgQueue += float64(len(queue)) * (tNext - now)
+		now = tNext
+
+		if events.Len() > 0 && events.Min().Time == now {
+			var ids []int32
+			_, ids = events.PopBatch(idbuf[:0])
+			idbuf = ids
+			// Group the batch per job (first-touch order) so each job's
+			// scheduler sees exactly one OnFinish per instant, as the
+			// engine contract requires.
+			var touched []*job
+			for _, slot := range ids {
+				rec := slots[slot]
+				freeSlots = append(freeSlots, slot)
+				j := rec.job
+				if j.batch == nil {
+					j.batch = make([]tree.NodeID, 0, 4)
+				}
+				if len(j.batch) == 0 {
+					touched = append(touched, j)
+				}
+				j.batch = append(j.batch, rec.node)
+			}
+			for _, j := range touched {
+				j.sched.OnFinish(j.batch)
+				n := len(j.batch)
+				j.batch = j.batch[:0]
+				j.remaining -= n
+				j.running -= n
+				runningT -= n
+				freeProcs += n
+				res.Events += n
+				if j.remaining == 0 {
+					freeMem += j.slice
+					res.Jobs[j.idx] = JobResult{
+						Name: j.spec.Name, Nodes: j.spec.Tree.Len(),
+						Arrival: j.spec.Arrival, Start: j.start, Finish: now,
+						Peak: j.peak, Slice: j.slice, Estimate: j.est,
+					}
+					if now > res.Makespan {
+						res.Makespan = now
+					}
+					finished++
+					kept := active[:0]
+					for _, a := range active {
+						if a != j {
+							kept = append(kept, a)
+						}
+					}
+					active = kept
+				}
+			}
+		}
+		for arrIdx < len(byArrival) && byArrival[arrIdx].spec.Arrival == now {
+			queue = append(queue, byArrival[arrIdx])
+			arrIdx++
+			if len(queue) > res.MaxQueue {
+				res.MaxQueue = len(queue)
+			}
+		}
+	}
+	if res.Makespan > 0 {
+		res.AvgQueue /= res.Makespan
+	}
+	return res, nil
+}

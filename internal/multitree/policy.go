@@ -1,0 +1,304 @@
+package multitree
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the admission/partition policies. A policy sees a
+// read-only snapshot of the cluster (State) and answers with the queued
+// jobs to admit now and the memory slice to carve for each. The
+// simulator enforces the two rules that make Theorem 1 compose across
+// jobs — every slice at least the job's sequential peak, and the sum of
+// active slices never over the pool — so a policy that respects them
+// can never deadlock an admitted job, whatever its ordering does to
+// waiting times.
+
+// QueuedJob is the policy's view of one waiting job.
+type QueuedJob struct {
+	Name    string
+	Nodes   int
+	Arrival float64
+	// Peak is peak(AO_j): the smallest admissible slice.
+	Peak float64
+	// Estimate is the job's makespan lower bound at the full processor
+	// count — the "runtime estimate" ordering and backfill reserve by.
+	Estimate float64
+}
+
+// ActiveJob is the policy's view of one admitted, unfinished job.
+type ActiveJob struct {
+	Name  string
+	Slice float64
+	Start float64
+	// EstEnd is admission time + the job's estimate; backfilling treats
+	// it as the instant the job's slice returns to the pool.
+	EstEnd float64
+	// Running counts the job's tasks currently on processors.
+	Running int
+}
+
+// State is the read-only cluster snapshot a policy decides from. The
+// slices are reused between admission rounds; policies must not retain
+// them.
+type State struct {
+	Now       float64
+	Procs     int
+	FreeProcs int
+	// Mem is the pool size; FreeMem is Mem − Σ active slices.
+	Mem     float64
+	FreeMem float64
+	// Queue lists waiting jobs in arrival order; Active lists admitted
+	// jobs in admission order.
+	Queue  []QueuedJob
+	Active []ActiveJob
+}
+
+// fill refreshes the snapshot's job views from the simulator's state.
+func (st *State) fill(queue, active []*job) {
+	st.Queue = st.Queue[:0]
+	for _, j := range queue {
+		st.Queue = append(st.Queue, QueuedJob{
+			Name: j.spec.Name, Nodes: j.spec.Tree.Len(), Arrival: j.spec.Arrival,
+			Peak: j.peak, Estimate: j.est,
+		})
+	}
+	st.Active = st.Active[:0]
+	for _, j := range active {
+		st.Active = append(st.Active, ActiveJob{
+			Name: j.spec.Name, Slice: j.slice, Start: j.start, EstEnd: j.estEnd,
+			Running: j.running,
+		})
+	}
+}
+
+// Admission grants one queued job a memory slice.
+type Admission struct {
+	// Queue indexes State.Queue.
+	Queue int
+	// Slice is the granted memory; the simulator requires
+	// Queue[i].Peak ≤ Slice and Σ granted ≤ State.FreeMem.
+	Slice float64
+}
+
+// Policy decides admissions. Implementations must be deterministic
+// functions of the State — the harness's serial-vs-parallel golden
+// tests compare traces byte for byte.
+type Policy interface {
+	// Name identifies the policy in tables.
+	Name() string
+	// Admit returns the jobs to admit at State.Now, applied in order.
+	Admit(st *State) []Admission
+}
+
+// grant sizes a slice for q: factor × peak, at least the peak, shrunk
+// to the free pool when the stretched slice does not fit (never below
+// the peak — the caller only asks when peak ≤ free).
+func grant(q *QueuedJob, factor, free float64) float64 {
+	s := q.Peak
+	if factor > 1 {
+		s = factor * q.Peak
+	}
+	if s > free {
+		s = free
+	}
+	if s < q.Peak {
+		s = q.Peak
+	}
+	return s
+}
+
+// FCFS admits strictly in arrival order: the queue head is admitted
+// whenever its slice fits, and a head that does not fit blocks every
+// job behind it (the no-starvation baseline).
+type FCFS struct {
+	// SliceFactor stretches every slice to factor × peak when memory is
+	// plentiful (values ≤ 1 grant the minimal slice).
+	SliceFactor float64
+}
+
+// Name implements Policy.
+func (f FCFS) Name() string { return "fcfs" }
+
+// Admit implements Policy.
+func (f FCFS) Admit(st *State) []Admission {
+	var out []Admission
+	free := st.FreeMem
+	for i := range st.Queue {
+		q := &st.Queue[i]
+		if q.Peak > free {
+			break
+		}
+		s := grant(q, f.SliceFactor, free)
+		out = append(out, Admission{Queue: i, Slice: s})
+		free -= s
+	}
+	return out
+}
+
+// SBF (shortest-bound-first) repeatedly admits the fitting queued job
+// with the smallest makespan lower bound — the SJF analogue when exact
+// durations are unknown but the bound is computable from the tree.
+// Long jobs can starve under sustained load; that trade-off is the
+// point of comparing it against FCFS and EASY.
+type SBF struct {
+	// SliceFactor as in FCFS.
+	SliceFactor float64
+}
+
+// Name implements Policy.
+func (s SBF) Name() string { return "sbf" }
+
+// Admit implements Policy.
+func (s SBF) Admit(st *State) []Admission {
+	var out []Admission
+	free := st.FreeMem
+	taken := make([]bool, len(st.Queue))
+	for {
+		best := -1
+		for i := range st.Queue {
+			if taken[i] || st.Queue[i].Peak > free {
+				continue
+			}
+			// Ties go to the earlier arrival (lower queue index).
+			if best < 0 || st.Queue[i].Estimate < st.Queue[best].Estimate {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		g := grant(&st.Queue[best], s.SliceFactor, free)
+		out = append(out, Admission{Queue: best, Slice: g})
+		free -= g
+		taken[best] = true
+	}
+}
+
+// FairShare partitions the pool into Shares equal slices and admits in
+// arrival order with slice max(peak, M/Shares): fewer jobs run
+// concurrently than under minimal slices, but each gets the memory
+// slack that lets its own scheduler parallelise (the paper's Figures 2
+// and 10 — makespan falls steeply with slack just above the minimum).
+type FairShare struct {
+	// Shares is the target concurrency level (default 4).
+	Shares int
+}
+
+// Name implements Policy.
+func (f FairShare) Name() string { return "fair" }
+
+// Admit implements Policy.
+func (f FairShare) Admit(st *State) []Admission {
+	shares := f.Shares
+	if shares < 1 {
+		shares = 4
+	}
+	target := st.Mem / float64(shares)
+	var out []Admission
+	free := st.FreeMem
+	for i := range st.Queue {
+		q := &st.Queue[i]
+		if q.Peak > free {
+			break
+		}
+		s := target
+		if s > free {
+			s = free
+		}
+		if s < q.Peak {
+			s = q.Peak
+		}
+		out = append(out, Admission{Queue: i, Slice: s})
+		free -= s
+	}
+	return out
+}
+
+// EASY is EASY-style backfilling over the memory dimension: the queue
+// head holds a reservation at the earliest instant enough slices return
+// (assuming active jobs end at their estimates), and later jobs may
+// jump the queue only if they fit now and — by their own estimate —
+// either finish before the reservation or use memory the head will not
+// need. Estimates are lower bounds, so a late job can overrun its
+// promise and push the reservation; the head is still never overtaken
+// indefinitely, because backfilled jobs must fit the shadow computed
+// from the state at each round. Backfilled slices are minimal (exactly
+// the peak): stretching them would consume the very headroom the
+// reservation protects.
+type EASY struct {
+	// SliceFactor stretches head slices as in FCFS; backfilled jobs
+	// always get their peak.
+	SliceFactor float64
+}
+
+// Name implements Policy.
+func (e EASY) Name() string { return "easy" }
+
+// Admit implements Policy.
+func (e EASY) Admit(st *State) []Admission {
+	var out []Admission
+	free := st.FreeMem
+	// Admit from the head while it fits (FCFS fast path).
+	next := 0
+	for next < len(st.Queue) && st.Queue[next].Peak <= free {
+		s := grant(&st.Queue[next], e.SliceFactor, free)
+		out = append(out, Admission{Queue: next, Slice: s})
+		free -= s
+		next++
+	}
+	if next >= len(st.Queue) || len(st.Active)+len(out) == 0 {
+		return out
+	}
+	head := &st.Queue[next]
+
+	// Shadow time: walk active jobs by estimated end, accumulating the
+	// slices they return, until the head fits; extra is the memory left
+	// over at that instant beyond the head's need.
+	type rel struct {
+		t float64
+		m float64
+	}
+	rels := make([]rel, 0, len(st.Active))
+	for i := range st.Active {
+		rels = append(rels, rel{st.Active[i].EstEnd, st.Active[i].Slice})
+	}
+	sort.Slice(rels, func(a, b int) bool {
+		if rels[a].t != rels[b].t {
+			return rels[a].t < rels[b].t
+		}
+		return rels[a].m < rels[b].m
+	})
+	shadow := st.Now
+	avail := free
+	ri := 0
+	for avail < head.Peak && ri < len(rels) {
+		avail += rels[ri].m
+		shadow = rels[ri].t
+		ri++
+	}
+	if avail < head.Peak {
+		// Jobs admitted this round have no EstEnd in the snapshot yet;
+		// their return alone must cover the head eventually.
+		shadow = math.Inf(1)
+	}
+	extra := avail - head.Peak
+
+	// Backfill: later jobs, arrival order, minimal slices.
+	for i := next + 1; i < len(st.Queue); i++ {
+		q := &st.Queue[i]
+		if q.Peak > free {
+			continue
+		}
+		endsInTime := st.Now+q.Estimate <= shadow
+		if !endsInTime && q.Peak > extra {
+			continue
+		}
+		out = append(out, Admission{Queue: i, Slice: q.Peak})
+		free -= q.Peak
+		if !endsInTime {
+			extra -= q.Peak
+		}
+	}
+	return out
+}

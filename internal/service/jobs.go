@@ -1,0 +1,242 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// This file is the asynchronous job API: POST /jobs enqueues a
+// scheduling request and returns immediately with an id; GET /jobs/{id}
+// polls its lifecycle (queued → running → done/failed). The actual
+// evaluation is the same schedule() path the synchronous /schedule
+// handler uses — including the content-keyed canonicalisation, so a
+// stream of jobs resubmitting the same tree hits the prepared-instance
+// cache exactly like synchronous traffic — run on the same bounded
+// worker pool, one goroutine per admitted job waiting its turn for a
+// slot. Three budgets bound the server's memory: MaxQueuedJobs caps
+// jobs that are queued or running and MaxQueuedBytes caps the payload
+// bytes those jobs retain (either exhausted answers 429 —
+// backpressure, not an unbounded backlog), and MaxTrackedJobs caps
+// retained records, with the oldest finished jobs evicted first so
+// pollers of recent jobs are never lied to.
+
+// Job lifecycle states reported by GET /jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobView is the JSON shape of one job: the 202 body of POST /jobs and
+// the 200 body of GET /jobs/{id}. Response is set once Status is
+// "done"; Error/ErrorStatus (plus Bound/MinMemory on admission-control
+// failures) once it is "failed".
+type JobView struct {
+	ID          uint64    `json:"id"`
+	Status      string    `json:"status"`
+	Response    *Response `json:"response,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	ErrorStatus int       `json:"error_status,omitempty"`
+	Bound       float64   `json:"bound,omitempty"`
+	MinMemory   float64   `json:"min_memory,omitempty"`
+}
+
+// jobRecord is the stored lifecycle of one job; all fields are guarded
+// by the owning store's mutex.
+type jobRecord struct {
+	id        uint64
+	status    string
+	cost      int64 // payload bytes retained while queued or running
+	resp      *Response
+	errStatus int
+	errBody   errorBody
+}
+
+// jobStore tracks job records under the two budgets.
+type jobStore struct {
+	mu         sync.Mutex
+	byID       map[uint64]*jobRecord
+	fifo       []uint64 // insertion order, oldest first, for eviction
+	nextID     uint64
+	queued     int
+	running    int
+	bytes      int64 // Σ cost over queued + running jobs
+	done       int64
+	failed     int64
+	maxPending int   // queued + running cap
+	maxBytes   int64 // queued + running payload-byte cap
+	maxTracked int   // retained records cap
+}
+
+func newJobStore(maxPending int, maxBytes int64, maxTracked int) *jobStore {
+	if maxPending < 1 {
+		maxPending = 1
+	}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	// Pending jobs are never evicted, so the record budget must admit
+	// every pending job or enqueueing could become impossible.
+	if maxTracked < maxPending {
+		maxTracked = maxPending
+	}
+	return &jobStore{byID: make(map[uint64]*jobRecord), maxPending: maxPending, maxBytes: maxBytes, maxTracked: maxTracked}
+}
+
+// enqueue registers a new queued job retaining cost payload bytes,
+// evicting the oldest finished records over the tracked budget. It
+// fails (backpressure) when the pending-count or pending-bytes budget
+// is exhausted — except that a job is never refused on bytes when the
+// queue is empty, so one admissible request cannot wedge.
+func (js *jobStore) enqueue(cost int64) (*jobRecord, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.queued+js.running >= js.maxPending {
+		return nil, false
+	}
+	if js.bytes+cost > js.maxBytes && js.queued+js.running > 0 {
+		return nil, false
+	}
+	js.nextID++
+	rec := &jobRecord{id: js.nextID, status: JobQueued, cost: cost}
+	js.bytes += cost
+	js.byID[rec.id] = rec
+	js.fifo = append(js.fifo, rec.id)
+	js.queued++
+	for len(js.byID) > js.maxTracked {
+		evicted := false
+		for i, id := range js.fifo {
+			old := js.byID[id]
+			if old == nil || old.status == JobDone || old.status == JobFailed {
+				delete(js.byID, id)
+				js.fifo = append(js.fifo[:i], js.fifo[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything tracked is pending; the pending cap bounds this
+		}
+	}
+	return rec, true
+}
+
+// setRunning moves a queued job to running.
+func (js *jobStore) setRunning(rec *jobRecord) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rec.status = JobRunning
+	js.queued--
+	js.running++
+}
+
+// finish records the outcome of a running job and releases its
+// payload-byte reservation (the Request is dropped with the runner).
+func (js *jobStore) finish(rec *jobRecord, resp *Response, herr *httpError) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.running--
+	js.bytes -= rec.cost
+	if herr != nil {
+		rec.status = JobFailed
+		rec.errStatus = herr.status
+		rec.errBody = herr.body
+		js.failed++
+		return
+	}
+	rec.status = JobDone
+	rec.resp = resp
+	js.done++
+}
+
+// view returns the JSON snapshot of a job.
+func (js *jobStore) view(id uint64) (JobView, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rec, ok := js.byID[id]
+	if !ok {
+		return JobView{}, false
+	}
+	v := JobView{ID: rec.id, Status: rec.status, Response: rec.resp}
+	if rec.status == JobFailed {
+		v.Error = rec.errBody.Error
+		v.ErrorStatus = rec.errStatus
+		v.Bound = rec.errBody.Bound
+		v.MinMemory = rec.errBody.MinMemory
+	}
+	return v, true
+}
+
+// gauges returns (queued, running, pendingBytes, done, failed,
+// tracked).
+func (js *jobStore) gauges() (queued, running int, pendingBytes, done, failed int64, tracked int) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.queued, js.running, js.bytes, js.done, js.failed, len(js.byID)
+}
+
+// handleJobSubmit enqueues one asynchronous job. The body is decoded
+// under a worker-pool slot exactly like /schedule (hostile bytes are as
+// reachable here); the evaluation itself runs later, on its own slot.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	// The retained payload is dominated by the inline tree text; the
+	// fixed fields of a Request are a few hundred bytes.
+	cost := int64(len(req.Tree)) + 512
+	rec, ok := s.jobs.enqueue(cost)
+	if !ok {
+		s.reject(w, fail(http.StatusTooManyRequests, "job queue full (caps: %d pending jobs, %d pending payload bytes)",
+			s.opts.MaxQueuedJobs, s.opts.MaxQueuedBytes))
+		return
+	}
+	go s.runJob(rec, req)
+	writeJSON(w, http.StatusAccepted, JobView{ID: rec.id, Status: JobQueued})
+}
+
+// runJob evaluates one queued job on a worker-pool slot and stores the
+// outcome. Async completions count into the same served/rejected
+// ledger as synchronous responses.
+func (s *Server) runJob(rec *jobRecord, req *Request) {
+	s.sem <- struct{}{}
+	s.inFlight.Add(1)
+	s.jobs.setRunning(rec)
+	resp, herr := s.schedule(req)
+	s.jobs.finish(rec, resp, herr)
+	if herr == nil {
+		s.served.Add(1)
+	} else if herr.status < http.StatusInternalServerError {
+		s.rejected.Add(1)
+	}
+	s.inFlight.Add(-1)
+	<-s.sem
+}
+
+// handleJobGet reports one job's lifecycle.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.reject(w, fail(http.StatusBadRequest, "bad job id %q", r.PathValue("id")))
+		return
+	}
+	v, ok := s.jobs.view(id)
+	if !ok {
+		s.reject(w, fail(http.StatusNotFound, "unknown job %d (finished jobs are retained up to the tracked-jobs budget)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

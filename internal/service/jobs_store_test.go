@@ -1,0 +1,127 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// The pending budget is backpressure: a store whose queued+running
+// count is at the cap refuses new jobs until one finishes.
+func TestJobStorePendingBudget(t *testing.T) {
+	js := newJobStore(2, 1<<20, 10)
+	a, ok := js.enqueue(100)
+	if !ok {
+		t.Fatal("first enqueue refused")
+	}
+	b, ok := js.enqueue(100)
+	if !ok {
+		t.Fatal("second enqueue refused")
+	}
+	if _, ok := js.enqueue(100); ok {
+		t.Fatal("enqueue accepted over the pending budget")
+	}
+	js.setRunning(a)
+	if _, ok := js.enqueue(100); ok {
+		t.Fatal("running jobs must still count against the budget")
+	}
+	js.finish(a, &Response{Makespan: 1}, nil)
+	if _, ok := js.enqueue(100); !ok {
+		t.Fatal("enqueue refused after a slot freed")
+	}
+	js.setRunning(b)
+	js.finish(b, nil, &httpError{status: http.StatusUnprocessableEntity, body: errorBody{Error: "nope", Bound: 1, MinMemory: 2}})
+	v, ok := js.view(b.id)
+	if !ok || v.Status != JobFailed || v.ErrorStatus != http.StatusUnprocessableEntity || v.Bound != 1 || v.MinMemory != 2 {
+		t.Fatalf("failed view %+v", v)
+	}
+	queued, running, bytes, done, failed, tracked := js.gauges()
+	if queued != 1 || running != 0 || bytes != 100 || done != 1 || failed != 1 || tracked != 3 {
+		t.Fatalf("gauges %d %d %d %d %d %d", queued, running, bytes, done, failed, tracked)
+	}
+}
+
+// Over the tracked budget the oldest *finished* records are evicted;
+// pending records never are.
+func TestJobStoreEvictsOldestFinished(t *testing.T) {
+	js := newJobStore(4, 1<<20, 4)
+	recs := make([]*jobRecord, 0, 3)
+	for i := 0; i < 3; i++ {
+		r, ok := js.enqueue(100)
+		if !ok {
+			t.Fatalf("enqueue %d refused", i)
+		}
+		js.setRunning(r)
+		js.finish(r, &Response{Makespan: float64(i)}, nil)
+		recs = append(recs, r)
+	}
+	pending, ok := js.enqueue(100)
+	if !ok {
+		t.Fatal("enqueue refused under budget")
+	}
+	// Budget now full (4 tracked). Two more enqueues must evict the two
+	// oldest finished jobs — and only those.
+	for i := 0; i < 2; i++ {
+		if _, ok := js.enqueue(100); !ok {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	if _, ok := js.view(recs[0].id); ok {
+		t.Fatal("oldest finished job not evicted")
+	}
+	if _, ok := js.view(recs[1].id); ok {
+		t.Fatal("second-oldest finished job not evicted")
+	}
+	if _, ok := js.view(recs[2].id); !ok {
+		t.Fatal("newest finished job evicted too early")
+	}
+	if v, ok := js.view(pending.id); !ok || v.Status != JobQueued {
+		t.Fatalf("pending job evicted: %v %+v", ok, v)
+	}
+}
+
+// The tracked budget can never fall below the pending budget, or
+// enqueueing could wedge with nothing evictable.
+func TestJobStoreBudgetClamp(t *testing.T) {
+	js := newJobStore(8, 1<<20, 2)
+	for i := 0; i < 8; i++ {
+		if _, ok := js.enqueue(100); !ok {
+			t.Fatalf("enqueue %d refused with a clamped tracked budget", i)
+		}
+	}
+	if _, _, _, _, _, tracked := js.gauges(); tracked != 8 {
+		t.Fatalf("tracked %d, want 8", tracked)
+	}
+}
+
+// The byte budget refuses further jobs while pending payloads hold it,
+// releases on finish, and never wedges a lone maximal request.
+func TestJobStoreByteBudget(t *testing.T) {
+	js := newJobStore(10, 250, 20)
+	a, ok := js.enqueue(200)
+	if !ok {
+		t.Fatal("first enqueue refused")
+	}
+	if _, ok := js.enqueue(100); ok {
+		t.Fatal("enqueue accepted over the byte budget")
+	}
+	js.setRunning(a)
+	if _, ok := js.enqueue(100); ok {
+		t.Fatal("running payloads must still hold the byte budget")
+	}
+	js.finish(a, &Response{}, nil)
+	b, ok := js.enqueue(100)
+	if !ok {
+		t.Fatal("enqueue refused after bytes released")
+	}
+	// An over-budget request on an otherwise empty queue is admitted:
+	// the budget is backpressure, not a hard request-size cap (the body
+	// limit is).
+	js.setRunning(b)
+	js.finish(b, &Response{}, nil)
+	if _, ok := js.enqueue(10_000); !ok {
+		t.Fatal("lone over-budget request wedged")
+	}
+	if _, _, bytes, _, _, _ := js.gauges(); bytes != 10_000 {
+		t.Fatalf("pending bytes %d, want 10000", bytes)
+	}
+}

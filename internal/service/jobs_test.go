@@ -1,0 +1,251 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, service.JobView, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v service.JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatalf("202 body %q: %v", b, err)
+		}
+	}
+	return resp.StatusCode, v, b
+}
+
+// waitJob polls GET /jobs/{id} until the job leaves the queue.
+func waitJob(t *testing.T, ts *httptest.Server, id uint64) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll job %d: %d %s", id, resp.StatusCode, b)
+		}
+		var v service.JobView
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == service.JobDone || v.Status == service.JobFailed {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d still %s after 30s", id, v.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// An async job must round-trip to exactly the result the synchronous
+// endpoint computes for the same request — same schedule() path, same
+// content cache.
+func TestJobRoundTripMatchesSync(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	tr := workload.MustSynthetic(workload.NewRNG(61), workload.SyntheticOptions{Nodes: 300})
+	payload := treePayload(t, tr, `,"heuristic":"MemBooking","mem_factor":2`)
+
+	status, b := post(t, ts, payload)
+	if status != http.StatusOK {
+		t.Fatalf("sync: %d %s", status, b)
+	}
+	var want service.Response
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	code, v, body := postJob(t, ts, payload)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", code, body)
+	}
+	if v.Status != service.JobQueued || v.ID == 0 {
+		t.Fatalf("enqueue view %+v", v)
+	}
+	got := waitJob(t, ts, v.ID)
+	if got.Status != service.JobDone {
+		t.Fatalf("job failed: %+v", got)
+	}
+	if got.Response == nil || !reflect.DeepEqual(*got.Response, want) {
+		t.Fatalf("async response %+v differs from sync %+v", got.Response, want)
+	}
+}
+
+// Failures surface through the poll body — with the admission-control
+// numbers when that is what rejected the job — not through the 202.
+func TestJobFailureReported(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	tr := workload.MustSynthetic(workload.NewRNG(62), workload.SyntheticOptions{Nodes: 50})
+
+	code, v, body := postJob(t, ts, treePayload(t, tr, `,"heuristic":"Nope"`))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", code, body)
+	}
+	got := waitJob(t, ts, v.ID)
+	if got.Status != service.JobFailed || got.ErrorStatus != http.StatusBadRequest || got.Error == "" {
+		t.Fatalf("bad heuristic job: %+v", got)
+	}
+
+	code, v, body = postJob(t, ts, treePayload(t, tr, `,"mem_factor":0.05`))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d %s", code, body)
+	}
+	got = waitJob(t, ts, v.ID)
+	if got.Status != service.JobFailed || got.ErrorStatus != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible-bound job: %+v", got)
+	}
+	if got.MinMemory <= 0 || got.Bound <= 0 {
+		t.Fatalf("admission numbers missing from failed job: %+v", got)
+	}
+
+	// Malformed submissions are rejected synchronously.
+	if code, _, body := postJob(t, ts, `{"tree":`); code != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: %d %s", code, body)
+	}
+}
+
+func TestJobGetErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for path, want := range map[string]int{
+		"/jobs/99999": http.StatusNotFound,
+		"/jobs/zzz":   http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// Concurrent clients enqueue and poll jobs under -race: every job
+// completes with the exact synchronous result for its payload (content
+// cache shared across both APIs), and the queue gauges drain to zero.
+func TestJobsConcurrentClients(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		srv, ts := newTestServer(t, &service.Options{Workers: workers})
+		payloads := make([]string, 3)
+		want := make([]service.Response, len(payloads))
+		for i := range payloads {
+			tr := workload.MustSynthetic(workload.NewRNG(uint64(70+i)), workload.SyntheticOptions{Nodes: 150 + 40*i})
+			payloads[i] = treePayload(t, tr, "")
+			status, b := post(t, ts, payloads[i])
+			if status != http.StatusOK {
+				t.Fatalf("seed request %d: %d %s", i, status, b)
+			}
+			if err := json.Unmarshal(b, &want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const clients, perClient = 6, 4
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := 0; k < perClient; k++ {
+					i := (c + k) % len(payloads)
+					resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(payloads[i]))
+					if err != nil {
+						errs <- err
+						return
+					}
+					b, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, b)
+						return
+					}
+					var v service.JobView
+					if err := json.Unmarshal(b, &v); err != nil {
+						errs <- err
+						return
+					}
+					for {
+						jr, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, v.ID))
+						if err != nil {
+							errs <- err
+							return
+						}
+						jb, err := io.ReadAll(jr.Body)
+						jr.Body.Close()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := json.Unmarshal(jb, &v); err != nil {
+							errs <- err
+							return
+						}
+						if v.Status == service.JobDone || v.Status == service.JobFailed {
+							break
+						}
+						time.Sleep(time.Millisecond)
+					}
+					if v.Status != service.JobDone || v.Response == nil || !reflect.DeepEqual(*v.Response, want[i]) {
+						errs <- fmt.Errorf("client %d job %d: %+v differs from sync result", c, v.ID, v)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		st := srv.Stats()
+		if st.JobsQueued != 0 || st.JobsRunning != 0 {
+			t.Fatalf("queue not drained: %+v", st)
+		}
+		if st.JobsDone != clients*perClient {
+			t.Fatalf("jobs done %d, want %d", st.JobsDone, clients*perClient)
+		}
+		if st.JobsFailed != 0 {
+			t.Fatalf("jobs failed: %+v", st)
+		}
+		// Content-cache reuse across sync and async: only the 3 distinct
+		// trees ever miss.
+		if st.CacheMisses != len(payloads) || st.CacheHits != clients*perClient {
+			t.Fatalf("cache hits %d misses %d, want %d / %d", st.CacheHits, st.CacheMisses, clients*perClient, len(payloads))
+		}
+	}
+}

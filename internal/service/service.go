@@ -3,7 +3,11 @@
 // accepts task trees — as .tree payloads or synthetic/grid instance
 // specs — runs the requested heuristic through the discrete-event
 // simulator, and returns the makespan, memory behaviour, lower bounds
-// and (optionally) the schedule trace.
+// and (optionally) the schedule trace. Besides the synchronous
+// /schedule endpoint there is an asynchronous job API (jobs.go):
+// POST /jobs enqueues the same request shape and returns an id
+// immediately, GET /jobs/{id} polls the lifecycle, and /statsz gauges
+// the queue.
 //
 // The service is built for repeated traffic over a working set of
 // trees, the way sparse-solver runtimes resubmit the same assembly
@@ -65,10 +69,27 @@ type Options struct {
 	// submitting distinct maximal trees. Raised to MaxNodes when set
 	// below it, so every accepted tree is cacheable.
 	MaxCachedNodes int
+	// MaxQueuedJobs caps asynchronous jobs that are queued or running
+	// (POST /jobs answers 429 beyond it; default 256).
+	MaxQueuedJobs int
+	// MaxQueuedBytes caps the payload bytes (dominated by inline .tree
+	// text) retained by queued-or-running jobs, so a full queue of
+	// near-limit submissions cannot pin MaxQueuedJobs × body-limit of
+	// memory the way the synchronous path's worker pool prevents
+	// (default 2^28 ≈ 256MB; raised to one body limit so a maximal
+	// request can always queue).
+	MaxQueuedBytes int64
+	// MaxTrackedJobs caps retained job records, finished ones included,
+	// so pollers can read results after completion without the daemon
+	// accumulating every job ever submitted (default 4096; raised to
+	// MaxQueuedJobs when set below it — pending jobs are never evicted).
+	MaxTrackedJobs int
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{Procs: 8, MemFactor: 2, MaxNodes: 1 << 20, Workers: runtime.GOMAXPROCS(0), MaxCachedTrees: 256, MaxCachedNodes: 1 << 23}
+	out := Options{Procs: 8, MemFactor: 2, MaxNodes: 1 << 20, Workers: runtime.GOMAXPROCS(0),
+		MaxCachedTrees: 256, MaxCachedNodes: 1 << 23,
+		MaxQueuedJobs: 256, MaxQueuedBytes: 1 << 28, MaxTrackedJobs: 4096}
 	if o == nil {
 		return out
 	}
@@ -89,6 +110,23 @@ func (o *Options) withDefaults() Options {
 	}
 	if o.MaxCachedNodes > 0 {
 		out.MaxCachedNodes = o.MaxCachedNodes
+	}
+	if o.MaxQueuedJobs > 0 {
+		out.MaxQueuedJobs = o.MaxQueuedJobs
+	}
+	if o.MaxQueuedBytes > 0 {
+		out.MaxQueuedBytes = o.MaxQueuedBytes
+	}
+	if o.MaxTrackedJobs > 0 {
+		out.MaxTrackedJobs = o.MaxTrackedJobs
+	}
+	if out.MaxTrackedJobs < out.MaxQueuedJobs {
+		out.MaxTrackedJobs = out.MaxQueuedJobs
+	}
+	// One maximal request must always be queueable, or the byte budget
+	// could deadlock submissions that the node cap admits.
+	if lim := int64(out.MaxNodes)*128 + 1<<20; out.MaxQueuedBytes < lim {
+		out.MaxQueuedBytes = lim
 	}
 	// Any accepted tree must be cacheable, or an oversized submission
 	// would flush the whole cache and then sit above the budget anyway.
@@ -190,6 +228,16 @@ type Stats struct {
 	Rejected int64 `json:"rejected"`
 	// Workers is the worker-pool width.
 	Workers int `json:"workers"`
+	// JobsQueued / JobsRunning / JobsPendingBytes gauge the
+	// asynchronous job queue (count and retained payload bytes);
+	// JobsDone / JobsFailed count completed async jobs; JobsTracked is
+	// the number of job records currently retained for polling.
+	JobsQueued       int   `json:"jobs_queued"`
+	JobsRunning      int   `json:"jobs_running"`
+	JobsPendingBytes int64 `json:"jobs_pending_bytes"`
+	JobsDone         int64 `json:"jobs_done"`
+	JobsFailed       int64 `json:"jobs_failed"`
+	JobsTracked      int   `json:"jobs_tracked"`
 }
 
 // errorBody is every non-200 payload. Bound and MinMemory are set on
@@ -215,6 +263,7 @@ func fail(status int, format string, args ...any) *httpError {
 type Server struct {
 	opts  Options
 	cache *treeCache
+	jobs  *jobStore
 	sem   chan struct{}
 
 	inFlight atomic.Int64
@@ -228,15 +277,18 @@ func New(opts *Options) *Server {
 	return &Server{
 		opts:  o,
 		cache: newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
+		jobs:  newJobStore(o.MaxQueuedJobs, o.MaxQueuedBytes, o.MaxTrackedJobs),
 		sem:   make(chan struct{}, o.Workers),
 	}
 }
 
-// Handler returns the HTTP API: POST /schedule, GET /healthz,
-// GET /statsz.
+// Handler returns the HTTP API: POST /schedule, POST /jobs,
+// GET /jobs/{id}, GET /healthz, GET /statsz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -250,15 +302,22 @@ func (s *Server) Handler() http.Handler {
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
 	hits, misses, entries, nodes := s.cache.snapshot()
+	queued, running, pendingBytes, done, failed, tracked := s.jobs.gauges()
 	return Stats{
-		CacheHits:   hits,
-		CacheMisses: misses,
-		CachedTrees: entries,
-		CachedNodes: nodes,
-		InFlight:    s.inFlight.Load(),
-		Served:      s.served.Load(),
-		Rejected:    s.rejected.Load(),
-		Workers:     s.opts.Workers,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CachedTrees:      entries,
+		CachedNodes:      nodes,
+		InFlight:         s.inFlight.Load(),
+		Served:           s.served.Load(),
+		Rejected:         s.rejected.Load(),
+		Workers:          s.opts.Workers,
+		JobsQueued:       queued,
+		JobsRunning:      running,
+		JobsPendingBytes: pendingBytes,
+		JobsDone:         done,
+		JobsFailed:       failed,
+		JobsTracked:      tracked,
 	}
 }
 
@@ -290,23 +349,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.inFlight.Add(-1)
 		<-s.sem
 	}()
-	// A .tree line is at least ~10 bytes, so this bounds the body well
-	// above any in-limit tree while stopping unbounded uploads early.
-	limit := int64(s.opts.MaxNodes)*128 + 1<<20
-	r.Body = http.MaxBytesReader(w, r.Body, limit)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req Request
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.reject(w, fail(http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit))
-			return
-		}
-		s.reject(w, fail(http.StatusBadRequest, "bad request: %v", err))
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
-	resp, herr := s.schedule(&req)
+	resp, herr := s.schedule(req)
 	if herr != nil {
 		s.reject(w, herr)
 		return
@@ -320,6 +367,32 @@ func (s *Server) reject(w http.ResponseWriter, e *httpError) {
 		s.rejected.Add(1)
 	}
 	writeJSON(w, e.status, e.body)
+}
+
+// decodeRequest reads one Request body under the shared size limit,
+// writing the 413/400 rejection itself on failure. Both the
+// synchronous and the asynchronous submission handlers go through it,
+// so the limit formula and the decode policy cannot diverge. The
+// caller must hold a worker-pool slot: buffering and decoding a
+// near-limit payload is as attacker-reachable as the simulation.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, bool) {
+	// A .tree line is at least ~10 bytes, so this bounds the body well
+	// above any in-limit tree while stopping unbounded uploads early.
+	limit := int64(s.opts.MaxNodes)*128 + 1<<20
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reject(w, fail(http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		s.reject(w, fail(http.StatusBadRequest, "bad request: %v", err))
+		return nil, false
+	}
+	return &req, true
 }
 
 // schedule evaluates one request: the HTTP-free core of the handler.

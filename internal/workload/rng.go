@@ -70,13 +70,20 @@ func (r *RNG) Norm() float64 {
 	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
 }
 
-// Exp returns an exponentially distributed value with rate 1.
-func (r *RNG) Exp() float64 {
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate): the inter-arrival distribution of a Poisson job
+// stream. The draw count per call is a pure function of the stream (a
+// zero uniform is redrawn), so sequences stay deterministic per seed.
+// It panics on a non-positive rate.
+func (r *RNG) Exp(rate float64) float64 {
+	if !(rate > 0) {
+		panic("workload: Exp with non-positive rate")
+	}
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()
 	}
-	return -math.Log(u)
+	return -math.Log(u) / rate
 }
 
 // Pick returns an index sampled from the (not necessarily normalised)

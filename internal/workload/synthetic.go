@@ -103,7 +103,7 @@ func paperTree(rng *RNG, parent []tree.NodeID) (*tree.Tree, error) {
 	exec := make([]float64, n)
 	tm := make([]float64, n)
 	for i := 0; i < n; i++ {
-		w := 100 * rng.Exp()
+		w := 100 * rng.Exp(1)
 		if w < 10 {
 			w = 10
 		}

@@ -37,17 +37,53 @@ func TestRNGFloat64Range(t *testing.T) {
 	}
 }
 
-func TestRNGExpMean(t *testing.T) {
-	r := NewRNG(2)
-	sum := 0.0
-	const n = 200000
-	for i := 0; i < n; i++ {
-		sum += r.Exp()
+func TestRNGExpMoments(t *testing.T) {
+	// Mean 1/rate and variance 1/rate² at several rates.
+	for _, rate := range []float64{0.25, 1, 4} {
+		r := NewRNG(2)
+		sum, sumSq := 0.0, 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			x := r.Exp(rate)
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("Exp(%g) returned %v", rate, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean*rate-1) > 0.02 {
+			t.Fatalf("Exp(%g) mean %v, want ≈%v", rate, mean, 1/rate)
+		}
+		if math.Abs(variance*rate*rate-1) > 0.05 {
+			t.Fatalf("Exp(%g) variance %v, want ≈%v", rate, variance, 1/(rate*rate))
+		}
 	}
-	mean := sum / n
-	if math.Abs(mean-1) > 0.02 {
-		t.Fatalf("Exp mean %v, want ≈1", mean)
+}
+
+func TestRNGExpDeterministicAndScaled(t *testing.T) {
+	// Deterministic per seed, and Exp(rate) is exactly Exp(1)/rate on the
+	// same stream (one uniform per draw).
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		x, y := a.Exp(2), b.Exp(2)
+		if x != y {
+			t.Fatal("Exp stream is not deterministic")
+		}
 	}
+	a, b = NewRNG(9), NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Exp(4), b.Exp(1)/4; got != want {
+			t.Fatalf("Exp(4) = %v, want Exp(1)/4 = %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp accepted a non-positive rate")
+		}
+	}()
+	NewRNG(1).Exp(0)
 }
 
 func TestRNGPickDistribution(t *testing.T) {

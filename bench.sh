@@ -9,8 +9,11 @@
 # (every duration-perturbation model over both miniature corpora), the
 # multi-tenant cluster sweep (admission policy × load × arrival grid,
 # each cell a full job-stream simulation over one shared memory pool),
-# and one warm treeschedd request (10k-node tree through the full HTTP
-# stack with the prepared-instance cache hot).
+# the fault-tolerance sweep (fault model × checkpoint policy ×
+# admission heuristic, each cell with seeded fault injection and
+# checkpoint/restart recovery), and one warm treeschedd request
+# (10k-node tree through the full HTTP stack with the
+# prepared-instance cache hot).
 # Values are nanoseconds.
 set -eu
 
@@ -19,7 +22,7 @@ out=BENCH_sweep.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep|BenchmarkMultiSweep$|BenchmarkServiceRequest' \
+go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep|BenchmarkMultiSweep$|BenchmarkFaultsSweep$|BenchmarkServiceRequest' \
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
 awk '
@@ -29,6 +32,7 @@ $1 ~ /^BenchmarkMemBookingPerEvent\/n100k/ { pernode=$5 }
 $1 ~ /^BenchmarkMinMemPostOrder/ { minmem=$3 }
 $1 ~ /^BenchmarkRobustSweep/ { robust=$3 }
 $1 ~ /^BenchmarkMultiSweep/ { multi=$3 }
+$1 ~ /^BenchmarkFaultsSweep/ { faults=$3 }
 $1 ~ /^BenchmarkServiceRequest/ { svc=$3 }
 $1 ~ /^BenchmarkSchedPerEventLarge\// {
 	key=$1
@@ -43,6 +47,7 @@ END {
 	printf "  \"minmem_postorder_ns\": %s,\n", (minmem == "" ? "null" : minmem)
 	printf "  \"robust_sweep_ns\": %s,\n", (robust == "" ? "null" : robust)
 	printf "  \"multi_sweep_ns\": %s,\n", (multi == "" ? "null" : multi)
+	printf "  \"faults_sweep_ns\": %s,\n", (faults == "" ? "null" : faults)
 	printf "  \"service_req_ns\": %s,\n", (svc == "" ? "null" : svc)
 	printf "  \"large_tier_sched_ns_per_node\": {\n"
 	for (i = 0; i < nlt; i++)

@@ -473,6 +473,13 @@ func BenchmarkRobustSweep(b *testing.B) { benchExperiment(b, "robust") }
 // (bench.sh records it as multi_sweep_ns).
 func BenchmarkMultiSweep(b *testing.B) { benchExperiment(b, "multi") }
 
+// BenchmarkFaultsSweep measures the fault-tolerance experiment: the
+// fault-model × checkpoint-policy × admission-heuristic grid, every
+// cell a job-stream simulation with seeded fault injection,
+// checkpoint/restart and retry-with-backoff (bench.sh records it as
+// faults_sweep_ns).
+func BenchmarkFaultsSweep(b *testing.B) { benchExperiment(b, "faults") }
+
 func BenchmarkDistributedRun(b *testing.B) {
 	t := benchTree(10000)
 	ao, peak := order.MinMemPostOrder(t)

@@ -12,15 +12,24 @@
 // POST /schedule accepts a .tree payload ({"tree":"0 -1 1 1 1\n..."})
 // or an instance spec (synthetic / grid2d / grid3d), plus heuristic,
 // procs, mem or mem_factor, ao/eo, an optional perturbation model, and
-// trace. POST /jobs enqueues the same request shape asynchronously and
+// trace. POST /jobs enqueues the same request shape asynchronously —
+// with optional retries (transient failures re-run with backoff) and
+// deadline (seconds before a still-pending job fails with 504) — and
 // answers 202 with a job id; GET /jobs/{id} polls the lifecycle
 // (queued → running → done/failed) and carries the result or the
-// failure. GET /healthz and GET /statsz report liveness and the cache /
-// worker-pool / job-queue counters.
+// failure. GET /healthz answers 200 ok or 503 degraded (queue near a
+// backpressure cap, workers saturated, or shutting down); GET /statsz
+// reports the cache / worker-pool / job-queue counters.
+//
+// On SIGINT/SIGTERM the daemon drains: new jobs are refused, pending
+// ones run to completion inside the shutdown window, and — with
+// -checkpoint-file set — whatever is still pending at the window's end
+// is saved as JSON and resubmitted on the next boot.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +55,8 @@ func main() {
 		queuedJobs  = flag.Int("max-queued-jobs", 256, "async jobs queued or running before POST /jobs answers 429")
 		queuedBytes = flag.Int64("max-queued-bytes", 1<<28, "payload bytes retained by queued/running async jobs before POST /jobs answers 429")
 		trackJobs   = flag.Int("max-jobs", 4096, "async job records retained for polling (oldest finished evicted)")
+		ckFile      = flag.String("checkpoint-file", "", "save async jobs still pending at shutdown here and resubmit them on the next boot")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for pending async jobs before checkpointing them")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -63,17 +74,60 @@ func main() {
 		MaxQueuedJobs:  *queuedJobs,
 		MaxQueuedBytes: *queuedBytes,
 		MaxTrackedJobs: *trackJobs,
-	}, nil); err != nil {
+	}, *ckFile, *drainWait, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "treeschedd:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then drains with a timeout. When
-// ready is non-nil it receives the bound listener before serving starts
-// (tests use it to learn the port and to trigger shutdown).
-func run(addr string, opts *service.Options, ready chan<- net.Listener) error {
+// restoreJobs resubmits the previous daemon's checkpointed jobs, if a
+// checkpoint exists; the file is consumed either way (a corrupt one is
+// reported, not looped on).
+func restoreJobs(srv *service.Server, path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "treeschedd: reading checkpoint %s: %v\n", path, err)
+		}
+		return
+	}
+	defer os.Remove(path)
+	var reqs []service.Request
+	if err := json.Unmarshal(b, &reqs); err != nil {
+		fmt.Fprintf(os.Stderr, "treeschedd: corrupt checkpoint %s: %v\n", path, err)
+		return
+	}
+	n := srv.RestoreJobs(reqs)
+	fmt.Fprintf(os.Stderr, "treeschedd: restored %d of %d checkpointed jobs from %s\n", n, len(reqs), path)
+}
+
+// checkpointJobs saves the requests the drain window could not finish.
+func checkpointJobs(pending []service.Request, path string) error {
+	b, err := json.MarshalIndent(pending, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding checkpoint: %w", err)
+	}
+	// Write-then-rename so a crash mid-write cannot leave a half
+	// checkpoint where the next boot expects a whole one.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// run serves until SIGINT/SIGTERM, then shuts down gracefully: the
+// HTTP server stops taking connections, pending async jobs drain for
+// up to drainWait, and — when ckFile is set — jobs still pending at
+// the end of the window are checkpointed there for the next boot
+// (which resubmits them before serving). When ready is non-nil it
+// receives the bound listener before serving starts (tests use it to
+// learn the port and to trigger shutdown).
+func run(addr string, opts *service.Options, ckFile string, drainWait time.Duration, ready chan<- net.Listener) error {
 	srv := service.New(opts)
+	if ckFile != "" {
+		restoreJobs(srv, ckFile)
+	}
 	hs := &http.Server{
 		Addr:    addr,
 		Handler: srv.Handler(),
@@ -112,5 +166,23 @@ func run(addr string, opts *service.Options, ready chan<- net.Listener) error {
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return hs.Shutdown(shutCtx)
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	// Drain-or-checkpoint: finish what the window allows, save the rest.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainWait)
+	defer cancelDrain()
+	pending := srv.Drain(drainCtx)
+	if len(pending) == 0 {
+		return nil
+	}
+	if ckFile == "" {
+		fmt.Fprintf(os.Stderr, "treeschedd: abandoning %d pending jobs (no -checkpoint-file)\n", len(pending))
+		return nil
+	}
+	if err := checkpointJobs(pending, ckFile); err != nil {
+		return fmt.Errorf("checkpointing %d pending jobs: %w", len(pending), err)
+	}
+	fmt.Fprintf(os.Stderr, "treeschedd: checkpointed %d pending jobs to %s\n", len(pending), ckFile)
+	return nil
 }

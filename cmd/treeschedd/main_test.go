@@ -17,7 +17,7 @@ func TestServeScheduleShutdown(t *testing.T) {
 	ready := make(chan net.Listener, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", nil, ready)
+		done <- run("127.0.0.1:0", nil, "", 5*time.Second, ready)
 	}()
 	var ln net.Listener
 	select {

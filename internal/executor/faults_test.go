@@ -1,0 +1,180 @@
+package executor_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/faults"
+	"repro/internal/order"
+	"repro/internal/tree"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestRetriesRecoverTransientFailures: a body that fails its first two
+// attempts per task completes under MaxRetries 2, every task's retries
+// are counted, and every task ultimately ran exactly once successfully.
+func TestRetriesRecoverTransientFailures(t *testing.T) {
+	rng := newRand(211)
+	tr := randTree(rng, 50)
+	s := newMB(t, tr, 1e9)
+	attempts := make([]int32, tr.Len())
+	boom := errors.New("transient")
+	res, err := executor.RunWithOptions(tr, s, func(id tree.NodeID) error {
+		if atomic.AddInt32(&attempts[id], 1) <= 2 {
+			return boom
+		}
+		return nil
+	}, executor.Options{Workers: 4, MaxRetries: 2, Backoff: faults.Backoff{Base: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * tr.Len(); res.Retries != want {
+		t.Fatalf("Retries = %d, want %d", res.Retries, want)
+	}
+	for i, a := range attempts {
+		if a != 3 {
+			t.Fatalf("task %d ran %d attempts, want 3", i, a)
+		}
+	}
+}
+
+// TestRetryExhaustionAborts: a task that always fails exhausts its cap
+// and the run surfaces the final error.
+func TestRetryExhaustionAborts(t *testing.T) {
+	tr := tree.MustNew([]tree.NodeID{tree.None, 0}, nil, []float64{1, 1}, nil)
+	s := newMB(t, tr, 100)
+	boom := errors.New("permanent")
+	_, err := executor.RunWithOptions(tr, s, func(id tree.NodeID) error {
+		if id == 1 {
+			return boom
+		}
+		return nil
+	}, executor.Options{Workers: 2, MaxRetries: 3})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped permanent failure", err)
+	}
+}
+
+// TestInjectedFaultsAreRetriedDeterministically: the fault plan's
+// verdicts drive retries; with MaxRetries 0 an injected failure aborts
+// with ErrInjected, and with headroom the run recovers.
+func TestInjectedFaultsAreRetriedDeterministically(t *testing.T) {
+	rng := newRand(223)
+	tr := randTree(rng, 40)
+	m := faults.TaskFailures(0.3)
+	mk := func() *faults.Plan { return m.NewPlan(faults.Seed(1, m, "exec")) }
+
+	s := newMB(t, tr, 1e9)
+	res, err := executor.RunWithOptions(tr, s, func(tree.NodeID) error { return nil },
+		executor.Options{Workers: 4, MaxRetries: 30, Plan: mk(), PlanKey: "exec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("p=0.3 plan injected nothing over %d tasks", tr.Len())
+	}
+
+	s2 := newMB(t, tr, 1e9)
+	_, err = executor.RunWithOptions(tr, s2, func(tree.NodeID) error { return nil },
+		executor.Options{Workers: 4, MaxRetries: 0, Plan: mk(), PlanKey: "exec"})
+	if err == nil || !errors.Is(err, executor.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestLimiterBalancedAcrossRestarts is the executor half of the chaos
+// oracle: task bodies allocate real (model) memory, transient failures
+// strike mid-task — a restart-safe body frees its partial allocations
+// before erroring — and across all retries the MemoryLimiter must never
+// exceed the scheduler's bound and must end exactly balanced.
+func TestLimiterBalancedAcrossRestarts(t *testing.T) {
+	rng := newRand(227)
+	for trial := 0; trial < 10; trial++ {
+		tr := randTree(rng, 1+rng.Intn(60))
+		_, peak := order.MinMemPostOrder(tr)
+		s := newMB(t, tr, peak)
+		lim := executor.NewMemoryLimiter(peak)
+		attempts := make([]int32, tr.Len())
+		var mu sync.Mutex
+		childFreed := make([]bool, tr.Len())
+		live := 0.0
+		res, err := executor.RunWithOptions(tr, s, func(id tree.NodeID) error {
+			if err := lim.Alloc(tr.Exec(id) + tr.Out(id)); err != nil {
+				return err
+			}
+			mu.Lock()
+			live += tr.Exec(id) + tr.Out(id)
+			mu.Unlock()
+			if atomic.AddInt32(&attempts[id], 1) <= int32(int(id)%3) {
+				// Transient failure mid-task: roll the allocation back, as
+				// any restart-safe body must.
+				lim.Free(tr.Exec(id) + tr.Out(id))
+				mu.Lock()
+				live -= tr.Exec(id) + tr.Out(id)
+				mu.Unlock()
+				return errors.New("transient")
+			}
+			// Success: free execution data and consumed child outputs.
+			lim.Free(tr.Exec(id))
+			mu.Lock()
+			live -= tr.Exec(id)
+			for _, c := range tr.Children(id) {
+				if !childFreed[c] {
+					childFreed[c] = true
+					lim.Free(tr.Out(c))
+					live -= tr.Out(c)
+				}
+			}
+			if tr.Parent(id) == tree.None {
+				lim.Free(tr.Out(id))
+				live -= tr.Out(id)
+			}
+			mu.Unlock()
+			return nil
+		}, executor.Options{Workers: 3, MaxRetries: 4, Backoff: faults.Backoff{Base: 0.01, Cap: 0.1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim.Peak() > peak*(1+1e-9) {
+			t.Fatalf("trial %d: limiter peak %g over the bound %g", trial, lim.Peak(), peak)
+		}
+		if live > 1e-6 || live < -1e-6 {
+			t.Fatalf("trial %d: limiter left %g live after %d retries", trial, live, res.Retries)
+		}
+	}
+}
+
+// TestContextCancellation: a cancelled context stops new launches,
+// aborts backoff waits promptly, and surfaces the context error.
+func TestContextCancellation(t *testing.T) {
+	rng := newRand(229)
+	tr := randTree(rng, 40)
+	s := newMB(t, tr, 1e9)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := executor.RunWithOptions(tr, s, func(id tree.NodeID) error {
+		return errors.New("always fails, would back off for minutes")
+	}, executor.Options{
+		Workers: 2, Ctx: ctx,
+		MaxRetries: 1000,
+		Backoff:    faults.Backoff{Base: 60_000}, // 1 min per retry without cancellation
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancellation took %v — backoff waits not cut short", el)
+	}
+}

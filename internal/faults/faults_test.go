@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTaskFailsDeterministicAndOrderFree: verdicts are pure functions
+// of (seed, job, task, attempt) — re-querying in any order replays the
+// same answers, and two plans with the same seed agree.
+func TestTaskFailsDeterministicAndOrderFree(t *testing.T) {
+	m := TaskFailures(0.3)
+	a := m.NewPlan(42)
+	b := m.NewPlan(42)
+	type q struct{ task, attempt int }
+	qs := []q{{0, 0}, {5, 2}, {1, 0}, {5, 2}, {999, 7}, {0, 1}}
+	var first []bool
+	for _, x := range qs {
+		first = append(first, a.TaskFails("job", x.task, x.attempt))
+	}
+	for i := len(qs) - 1; i >= 0; i-- { // reversed order on the twin plan
+		if got := b.TaskFails("job", qs[i].task, qs[i].attempt); got != first[i] {
+			t.Fatalf("query order changed verdict for %+v", qs[i])
+		}
+	}
+	if a.TaskFails("job", 5, 2) != first[1] {
+		t.Fatalf("re-query changed verdict")
+	}
+}
+
+// TestTaskFailsKeyedByJobSeedAttempt: distinct jobs, seeds and attempts
+// draw independently (at rate 0.5 over 200 draws, all-equal outcomes
+// are impossible in practice).
+func TestTaskFailsKeyedByJobSeedAttempt(t *testing.T) {
+	m := TaskFailures(0.5)
+	p := m.NewPlan(1)
+	q := m.NewPlan(2)
+	diffJob, diffSeed, diffAtt := false, false, false
+	for i := 0; i < 200; i++ {
+		if p.TaskFails("a", i, 0) != p.TaskFails("b", i, 0) {
+			diffJob = true
+		}
+		if p.TaskFails("a", i, 0) != q.TaskFails("a", i, 0) {
+			diffSeed = true
+		}
+		if p.TaskFails("a", i, 0) != p.TaskFails("a", i, 1) {
+			diffAtt = true
+		}
+	}
+	if !diffJob || !diffSeed || !diffAtt {
+		t.Fatalf("draws not independent: job=%v seed=%v attempt=%v", diffJob, diffSeed, diffAtt)
+	}
+}
+
+// TestTaskFailureRate: the empirical failure fraction matches the
+// model's rate.
+func TestTaskFailureRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		p := TaskFailures(rate).NewPlan(7)
+		n, fails := 20000, 0
+		for i := 0; i < n; i++ {
+			if p.TaskFails("j", i, 0) {
+				fails++
+			}
+		}
+		got := float64(fails) / float64(n)
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("rate %g: empirical %g", rate, got)
+		}
+	}
+}
+
+// TestCrashEpochs: per-processor crash streams are strictly increasing,
+// deterministic, independent across processors, and query-order free.
+func TestCrashEpochs(t *testing.T) {
+	m := ProcCrashes(0.1)
+	p := m.NewPlan(3)
+	var seq []float64
+	tcur := 0.0
+	for i := 0; i < 50; i++ {
+		next := p.NextCrash(0, tcur)
+		if next <= tcur {
+			t.Fatalf("epoch %g not after %g", next, tcur)
+		}
+		seq = append(seq, next)
+		tcur = next
+	}
+	// Replay on a fresh plan with non-monotone queries interleaved.
+	q := m.NewPlan(3)
+	q.NextCrash(0, 1000) // force deep generation first
+	if got := q.NextCrash(0, 0); got != seq[0] {
+		t.Fatalf("non-monotone query changed stream: %g vs %g", got, seq[0])
+	}
+	tcur = 0
+	for i := range seq {
+		got := q.NextCrash(0, tcur)
+		if got != seq[i] {
+			t.Fatalf("epoch %d: %g vs %g", i, got, seq[i])
+		}
+		tcur = got
+	}
+	if p.NextCrash(1, 0) == p.NextCrash(0, 0) {
+		t.Fatalf("processors 0 and 1 share a crash stream")
+	}
+	// Mean gap ≈ 1/rate.
+	mean := seq[len(seq)-1] / float64(len(seq))
+	if mean < 5 || mean > 20 { // 1/rate = 10
+		t.Errorf("mean crash gap %g far from 10", mean)
+	}
+}
+
+// TestBurstEpochs: the cluster-wide stream behaves like the crash
+// streams and None() never fires anything.
+func TestBurstEpochs(t *testing.T) {
+	p := Bursts(0.05).NewPlan(9)
+	a := p.NextBurst(0)
+	b := p.NextBurst(a)
+	if !(a > 0 && b > a) {
+		t.Fatalf("burst epochs not increasing: %g %g", a, b)
+	}
+	if got := p.NextBurst(0); got != a {
+		t.Fatalf("re-query changed first burst: %g vs %g", got, a)
+	}
+
+	none := None().NewPlan(9)
+	if none.TaskFails("j", 0, 0) || !math.IsInf(none.NextCrash(0, 0), 1) || !math.IsInf(none.NextBurst(0), 1) {
+		t.Fatalf("None() injected a fault")
+	}
+}
+
+// TestSeedContentKeyed: Seed differs across models and instances but is
+// reproducible.
+func TestSeedContentKeyed(t *testing.T) {
+	a := Seed(1, TaskFailures(0.1), "x")
+	if a != Seed(1, TaskFailures(0.1), "x") {
+		t.Fatalf("Seed not reproducible")
+	}
+	if a == Seed(1, TaskFailures(0.2), "x") || a == Seed(1, TaskFailures(0.1), "y") || a == Seed(2, TaskFailures(0.1), "x") {
+		t.Fatalf("Seed collisions across distinct keys")
+	}
+}
+
+// TestBackoff: the delay doubles from Base, saturates at Cap, jitters
+// deterministically within [0, Jitter], and the zero value never waits.
+func TestBackoff(t *testing.T) {
+	b := Backoff{Base: 2, Cap: 16}
+	for i, want := range []float64{2, 4, 8, 16, 16, 16} {
+		if got := b.Delay("k", i); got != want {
+			t.Fatalf("retry %d: delay %g want %g", i, got, want)
+		}
+	}
+	// A huge retry index must not overflow past the cap.
+	if got := b.Delay("k", 500); got != 16 {
+		t.Fatalf("retry 500: delay %g want 16", got)
+	}
+	j := Backoff{Base: 1, Cap: 64, Jitter: 0.5}
+	d1 := j.Delay("a", 3)
+	if d1 != j.Delay("a", 3) {
+		t.Fatalf("jittered delay not deterministic")
+	}
+	if base := 8.0; d1 < base || d1 > base*1.5 {
+		t.Fatalf("jittered delay %g outside [%g, %g]", d1, base, base*1.5)
+	}
+	if j.Delay("a", 3) == j.Delay("b", 3) {
+		t.Fatalf("jitter identical across keys")
+	}
+	if (Backoff{}).Delay("k", 9) != 0 {
+		t.Fatalf("zero-value backoff waited")
+	}
+}
+
+// TestModelValidation: constructors reject out-of-domain parameters.
+func TestModelValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative prob":  func() { TaskFailures(-0.1) },
+		"prob over one":  func() { TaskFailures(1.5) },
+		"negative crash": func() { ProcCrashes(-1) },
+		"inf burst":      func() { Bursts(math.Inf(1)) },
+		"nan mixed":      func() { Mixed(0.1, math.NaN(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The faults experiment must cover the full policy × checkpoint × model
+// grid, keep every fault-free cell at exactly zero fault activity and
+// overhead 1, actually inject faults somewhere in the faulty cells, and
+// report metrics in their valid ranges. multitree.Run fails on any
+// partition-invariant or slice-accounting violation, so a returned
+// table is itself the safety witness under injected faults.
+func TestFaultsStudyGridAndRanges(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Run("faults", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * 3 * 6 // policies × checkpoint policies × fault models
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("faults has %d rows, want %d", len(tab.Rows), wantRows)
+	}
+	sawRestart := false
+	for _, r := range tab.Rows {
+		name := r[0] + "/" + r[1] + "/" + r[2]
+		jobs, failed := cellFloat(t, r[3]), cellFloat(t, r[4])
+		if jobs+failed != faultJobs {
+			t.Fatalf("%s: %g completed + %g failed ≠ %d jobs", name, jobs, failed, faultJobs)
+		}
+		restarts := cellFloat(t, r[5])
+		if restarts > 0 {
+			sawRestart = true
+		}
+		if wf := cellFloat(t, r[7]); wf < 0 || wf >= 1 {
+			t.Fatalf("%s: wasted fraction %g out of [0,1)", name, wf)
+		}
+		if util := cellFloat(t, r[9]); util <= 0 || util > 1 {
+			t.Fatalf("%s: utilization %g out of (0,1]", name, util)
+		}
+		overhead := cellFloat(t, r[8])
+		if r[2] == "none" {
+			if r[3] != strconv.Itoa(faultJobs) {
+				t.Fatalf("%s: fault-free cell completed %s jobs, want %d", name, r[3], faultJobs)
+			}
+			if restarts != 0 || failed != 0 || cellFloat(t, r[7]) != 0 {
+				t.Fatalf("%s: fault-free cell reports fault activity: %v", name, r)
+			}
+			if overhead != 1 {
+				t.Fatalf("%s: fault-free overhead %g, want 1", name, overhead)
+			}
+			// Checkpoints may be non-zero here: the policy fires on
+			// fault-free runs too, that is its cost being measured.
+		} else if overhead <= 0 {
+			t.Fatalf("%s: overhead %g not positive", name, overhead)
+		}
+	}
+	if !sawRestart {
+		t.Fatal("no cell restarted anything — the default fault rates inject nothing")
+	}
+}

@@ -63,6 +63,7 @@ var registry = map[string]Runner{
 	"price":    priceStudy,
 	"robust":   robustStudy,
 	"multi":    multiStudy,
+	"faults":   faultsStudy,
 }
 
 // Run executes the experiment with the given ID.

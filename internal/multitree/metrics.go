@@ -30,6 +30,13 @@ type Metrics struct {
 	MaxQueue int
 	// PeakReservedFraction is the peak Σ active slices over the pool.
 	PeakReservedFraction float64
+	// Fault-mode aggregates (zero on fault-free runs): jobs that
+	// exhausted retries, restarts, checkpoints taken, and the fraction of
+	// processor-busy time that never committed.
+	FailedJobs     int
+	Restarts       int
+	Checkpoints    int
+	WastedFraction float64
 }
 
 // Metrics computes the aggregate job-stream metrics of the run on a
@@ -42,20 +49,34 @@ func (r *Result) Metrics(p int, mem, tau float64) Metrics {
 	resp := make([]float64, 0, len(r.Jobs))
 	wait := make([]float64, 0, len(r.Jobs))
 	bsld := make([]float64, 0, len(r.Jobs))
+	completed := 0
 	for i := range r.Jobs {
 		j := &r.Jobs[i]
+		if j.Failed {
+			// Failed jobs never completed: their response/slowdown is
+			// undefined, so they count separately instead of skewing the
+			// summaries.
+			continue
+		}
+		completed++
 		resp = append(resp, j.Response())
 		wait = append(wait, j.Wait())
 		bsld = append(bsld, j.BoundedSlowdown(tau))
 	}
 	m := Metrics{
-		Jobs:        len(r.Jobs),
+		Jobs:        completed,
 		Response:    stats.Summarize(resp),
 		Wait:        stats.Summarize(wait),
 		BSLD:        stats.Summarize(bsld),
 		Utilization: r.Utilization(p),
 		AvgQueue:    r.AvgQueue,
 		MaxQueue:    r.MaxQueue,
+		FailedJobs:  r.FailedJobs,
+		Restarts:    r.Restarts,
+		Checkpoints: r.Checkpoints,
+	}
+	if r.BusyTime > 0 {
+		m.WastedFraction = r.WastedWork / r.BusyTime
 	}
 	if mem > 0 {
 		m.PeakReservedFraction = r.PeakReserved / mem

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/order"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
@@ -46,6 +47,39 @@ type Options struct {
 	// Policy is the admission/partition policy; nil selects FCFS with
 	// minimal slices.
 	Policy Policy
+	// Faults switches the simulator into its fail-stop mode: injected
+	// failures, retry-with-backoff and checkpoint/restart. Nil keeps the
+	// fault-free fast path bit for bit.
+	Faults *FaultOptions
+}
+
+// FaultOptions configure fail-stop fault injection and recovery. The
+// semantics are job-level fail-stop: a fault hitting any task of a job
+// (a failed attempt at its completion instant, a processor crash epoch
+// landing on one of its running tasks, or a cluster-wide burst) kills
+// the whole job. Its in-flight completion events are cancelled, its
+// memory slice M_j returns to the pool — the partition invariant
+// Σ active M_j ≤ M is enforced across the release/re-acquire window —
+// and the job re-queues through the admission policy after a backoff
+// delay, restarting from its latest checkpoint (or from scratch without
+// one) once retries remain.
+type FaultOptions struct {
+	// Plan is the realised fault schedule; nil injects nothing (the
+	// retry and checkpoint machinery still runs). A Plan is not safe for
+	// concurrent use: parallel sweep cells must each build their own from
+	// the same (model, seed), which yields identical schedules.
+	Plan *faults.Plan
+	// MaxRetries caps restarts per job; a job that fails a
+	// MaxRetries+1-th time is reported Failed instead of re-queued.
+	MaxRetries int
+	// Backoff is the retry-delay rule (zero value retries immediately).
+	Backoff faults.Backoff
+	// Checkpoint decides when active jobs snapshot at task boundaries;
+	// nil is core.CheckpointNever (every restart replays from scratch).
+	Checkpoint core.CheckpointPolicy
+	// RecordSchedules retains each job's committed task sequence in its
+	// JobResult — the witness the restart-determinism oracle compares.
+	RecordSchedules bool
 }
 
 // JobResult is the completed lifecycle of one job.
@@ -61,6 +95,15 @@ type JobResult struct {
 	// Estimate is the makespan lower bound the policies ordered and
 	// reserved by (bounds.Classical at the full processor count).
 	Estimate float64
+	// Attempts is how many times the job was started (1 = no restart).
+	Attempts int
+	// Failed reports a job that exhausted its retries; Finish is then the
+	// instant of its final failure.
+	Failed bool
+	// Schedule is the committed task sequence of the surviving lineage
+	// (commits lost to a restart are truncated back to the restored
+	// checkpoint). Recorded only under FaultOptions.RecordSchedules.
+	Schedule []tree.NodeID
 }
 
 // Response returns the job's response time (finish − arrival).
@@ -101,8 +144,18 @@ type Result struct {
 	// jobs waiting for admission.
 	MaxQueue int
 	AvgQueue float64
-	// Events counts task completion events across all jobs.
+	// Events counts committed task completion events across all jobs
+	// (completions voided by an injected failure are not committed).
 	Events int
+	// Restarts counts job re-queues after a fault; Checkpoints counts
+	// snapshots taken; FailedJobs counts jobs that exhausted retries.
+	Restarts    int
+	Checkpoints int
+	FailedJobs  int
+	// WastedWork is processor time spent without committing: partial work
+	// of killed in-flight tasks, completions voided at a failure instant,
+	// and committed work lost because the restart point predates it.
+	WastedWork float64
 }
 
 // Utilization returns BusyTime / (p × Makespan).
@@ -128,13 +181,28 @@ type job struct {
 	start     float64
 	estEnd    float64
 	batch     []tree.NodeID // per-round completion buffer
+
+	// Fault-mode state.
+	minSlice    float64          // required slice floor: max(peak, checkpoint's booked memory)
+	attempt     int              // restarts so far; also the fault plan's attempt key
+	retryAt     float64          // earliest re-queue instant while waiting to retry
+	cp          *core.Checkpoint // latest snapshot, nil before the first
+	sinceCk     int              // commits since the last snapshot
+	workSinceCk float64          // committed work a restart would lose
+	peakBooked  float64          // booked-memory high-water mark of this attempt
+	started     bool             // Start has been recorded (first admission)
+	commitSched []tree.NodeID    // committed task sequence (RecordSchedules)
+	ckCommits   int              // len(commitSched) at the last snapshot
 }
 
 // slotRec maps a completion-event id back to its job and task; at most
-// Procs records are live at once, recycled through a free list.
+// Procs records are live at once, recycled through a free list. A freed
+// slot's job is nil, which is how the fault path tells busy processors
+// from idle ones.
 type slotRec struct {
-	job  *job
-	node tree.NodeID
+	job           *job
+	node          tree.NodeID
+	start, finish float64
 }
 
 // Run simulates the job stream under the options' policy. Per-job
@@ -156,6 +224,19 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 	}
 	p := opt.Procs
 
+	fo := opt.Faults
+	var plan *faults.Plan
+	ckpol := core.CheckpointPolicy(core.CheckpointNever{})
+	if fo != nil {
+		plan = fo.Plan
+		if fo.Checkpoint != nil {
+			ckpol = fo.Checkpoint
+		}
+		if fo.MaxRetries < 0 {
+			return nil, fmt.Errorf("multitree: negative retry cap %d", fo.MaxRetries)
+		}
+	}
+
 	jobs := make([]*job, len(specs))
 	for i, sp := range specs {
 		if sp.Tree == nil || sp.Tree.Len() == 0 {
@@ -168,7 +249,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		if peak > opt.Mem {
 			return nil, fmt.Errorf("multitree: job %q needs %g memory, over the cluster pool %g — no slice can admit it", sp.Name, peak, opt.Mem)
 		}
-		jobs[i] = &job{spec: sp, idx: i, ao: ao, peak: peak, est: bounds.Classical(sp.Tree, p)}
+		jobs[i] = &job{spec: sp, idx: i, ao: ao, peak: peak, minSlice: peak, est: bounds.Classical(sp.Tree, p)}
 	}
 	// Arrival order: by time, submission index breaking ties.
 	byArrival := make([]*job, len(jobs))
@@ -186,6 +267,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		slots     = make([]slotRec, p)
 		freeSlots = make([]int32, p)
 		queue     []*job // waiting for admission, arrival order
+		retryQ    []*job // failed jobs waiting out backoff, (retryAt, idx) order
 		active    []*job // admitted, admission order
 		arrIdx    = 0
 		now       = 0.0
@@ -201,8 +283,86 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		freeSlots[i] = int32(p - 1 - i) // pop order 0,1,2,…
 	}
 
+	// failJob is the fail-stop path: kill the job's in-flight tasks
+	// (cancelling their completion events and crediting their partial
+	// work as wasted), release its slice back to the pool, and either
+	// re-queue it after backoff or report it Failed once retries run out.
+	failJob := func(j *job) {
+		if j.sched == nil {
+			return // already failed at this instant (e.g. crash after burst)
+		}
+		for s := range slots {
+			rec := &slots[s]
+			if rec.job != j {
+				continue
+			}
+			res.WastedWork += now - rec.start
+			res.BusyTime -= rec.finish - now // charged at launch; the remainder never runs
+			rec.job = nil
+			freeSlots = append(freeSlots, int32(s))
+			freeProcs++
+			runningT--
+		}
+		j.running = 0
+		events.Filter(func(id int32) bool { return slots[id].job != nil })
+		// Commits past the restart point will be redone: wasted.
+		res.WastedWork += j.workSinceCk
+		j.workSinceCk = 0
+		if fo.RecordSchedules {
+			j.commitSched = j.commitSched[:j.ckCommits]
+		}
+		freeMem += j.slice
+		kept := active[:0]
+		for _, a := range active {
+			if a != j {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+		j.sched = nil
+		j.attempt++
+		if j.cp != nil && j.cp.BookedMemory() > j.minSlice {
+			j.minSlice = j.cp.BookedMemory()
+		}
+		if j.attempt > fo.MaxRetries {
+			res.FailedJobs++
+			finished++
+			res.Jobs[j.idx] = JobResult{
+				Name: j.spec.Name, Nodes: j.spec.Tree.Len(),
+				Arrival: j.spec.Arrival, Start: j.start, Finish: now,
+				Peak: j.peak, Slice: j.slice, Estimate: j.est,
+				Attempts: j.attempt, Failed: true,
+			}
+			if now > res.Makespan {
+				res.Makespan = now
+			}
+			return
+		}
+		res.Restarts++
+		j.retryAt = now + fo.Backoff.Delay(j.spec.Name, j.attempt-1)
+		at := sort.Search(len(retryQ), func(k int) bool {
+			r := retryQ[k]
+			if r.retryAt != j.retryAt {
+				return r.retryAt > j.retryAt
+			}
+			return r.idx > j.idx
+		})
+		retryQ = append(retryQ, nil)
+		copy(retryQ[at+1:], retryQ[at:])
+		retryQ[at] = j
+	}
+
 	st := &State{Procs: p, Mem: opt.Mem}
 	for finished < len(jobs) {
+		// Retries whose backoff has elapsed rejoin the admission queue
+		// (behind any same-instant fresh arrivals, already appended).
+		for len(retryQ) > 0 && retryQ[0].retryAt <= now {
+			queue = append(queue, retryQ[0])
+			retryQ = retryQ[1:]
+			if len(queue) > res.MaxQueue {
+				res.MaxQueue = len(queue)
+			}
+		}
 		// Admission: let the policy carve slices while jobs wait.
 		if len(queue) > 0 {
 			st.Now, st.FreeProcs, st.FreeMem = now, freeProcs, freeMem
@@ -216,8 +376,8 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 					return nil, fmt.Errorf("multitree: policy %q admitted invalid queue index %d", pol.Name(), ad.Queue)
 				}
 				j := queue[ad.Queue]
-				if ad.Slice < j.peak-eps {
-					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g below its peak %g — Theorem 1 would not hold", pol.Name(), j.spec.Name, ad.Slice, j.peak)
+				if ad.Slice < j.minSlice-eps {
+					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g below its floor %g (peak %g) — Theorem 1 would not hold", pol.Name(), j.spec.Name, ad.Slice, j.minSlice, j.peak)
 				}
 				if ad.Slice > freeMem+eps {
 					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g over the free pool %g — Σ slices would exceed M", pol.Name(), j.spec.Name, ad.Slice, freeMem)
@@ -228,13 +388,31 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
 				}
-				if err := sched.Init(); err != nil {
-					return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
+				if j.cp != nil {
+					// Restart from the latest snapshot: the floor above
+					// guarantees the slice covers its booked memory.
+					if err := sched.Restore(j.cp); err != nil {
+						return nil, fmt.Errorf("multitree: job %q restart: %w", j.spec.Name, err)
+					}
+					j.remaining = j.cp.Remaining()
+				} else {
+					if err := sched.Init(); err != nil {
+						return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
+					}
+					j.remaining = j.spec.Tree.Len()
 				}
 				j.sched = sched
-				j.remaining = j.spec.Tree.Len()
-				j.start = now
+				j.running = 0
+				if !j.started {
+					j.start = now
+					j.started = true
+				}
 				j.estEnd = now + j.est
+				if fo != nil {
+					j.sinceCk = 0
+					j.workSinceCk = 0
+					j.peakBooked = sched.BookedMemory()
+				}
 				freeMem -= j.slice
 				active = append(active, j)
 			}
@@ -266,8 +444,8 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				}
 				slot := freeSlots[len(freeSlots)-1]
 				freeSlots = freeSlots[:len(freeSlots)-1]
-				slots[slot] = slotRec{job: j, node: nid}
 				d := j.spec.Tree.Time(nid)
+				slots[slot] = slotRec{job: j, node: nid, start: now, finish: now + d}
 				events.Push(now+d, slot)
 				res.BusyTime += d
 				freeProcs--
@@ -286,7 +464,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				&core.ErrDeadlock{Scheduler: j.sched.Name(), Finished: j.spec.Tree.Len() - j.remaining,
 					Total: j.spec.Tree.Len(), Booked: j.sched.BookedMemory()})
 		}
-		if runningT == 0 && arrIdx >= len(byArrival) {
+		if runningT == 0 && arrIdx >= len(byArrival) && len(retryQ) == 0 {
 			if len(queue) > 0 {
 				// Nothing running, nothing arriving, memory fully free —
 				// the policy refused every admissible job.
@@ -295,8 +473,11 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 			break // all jobs done
 		}
 
-		// Advance to the next instant: the earlier of the next completion
-		// and the next arrival; both are drained when they coincide.
+		// Advance to the next instant: the earliest of the next
+		// completion, arrival, retry expiry, and — in fault mode, while
+		// anything runs — the next crash or burst epoch. Coinciding
+		// instants drain in that order, so a completion at a fault epoch
+		// commits before the fault strikes.
 		tNext := math.Inf(1)
 		if events.Len() > 0 {
 			tNext = events.Min().Time
@@ -304,7 +485,24 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		if arrIdx < len(byArrival) && byArrival[arrIdx].spec.Arrival < tNext {
 			tNext = byArrival[arrIdx].spec.Arrival
 		}
+		if len(retryQ) > 0 && retryQ[0].retryAt < tNext {
+			tNext = retryQ[0].retryAt
+		}
+		if plan != nil && runningT > 0 {
+			for s := range slots {
+				if slots[s].job == nil {
+					continue
+				}
+				if c := plan.NextCrash(s, now); c < tNext {
+					tNext = c
+				}
+			}
+			if b := plan.NextBurst(now); b < tNext {
+				tNext = b
+			}
+		}
 		res.AvgQueue += float64(len(queue)) * (tNext - now)
+		prev := now
 		now = tNext
 
 		if events.Len() > 0 && events.Min().Time == now {
@@ -317,6 +515,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 			var touched []*job
 			for _, slot := range ids {
 				rec := slots[slot]
+				slots[slot].job = nil
 				freeSlots = append(freeSlots, slot)
 				j := rec.job
 				if j.batch == nil {
@@ -328,8 +527,40 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				j.batch = append(j.batch, rec.node)
 			}
 			for _, j := range touched {
-				j.sched.OnFinish(j.batch)
 				n := len(j.batch)
+				if plan != nil {
+					// A failed attempt is detected at its completion
+					// instant: fail-stop, so the whole job dies and the
+					// batch — fully run — is wasted, never committed.
+					doomed := false
+					for _, nid := range j.batch {
+						if plan.TaskFails(j.spec.Name, int(nid), j.attempt) {
+							doomed = true
+							break
+						}
+					}
+					if doomed {
+						for _, nid := range j.batch {
+							res.WastedWork += j.spec.Tree.Time(nid)
+						}
+						j.batch = j.batch[:0]
+						j.running -= n
+						runningT -= n
+						freeProcs += n
+						failJob(j)
+						continue
+					}
+				}
+				j.sched.OnFinish(j.batch)
+				if fo != nil {
+					for _, nid := range j.batch {
+						j.workSinceCk += j.spec.Tree.Time(nid)
+					}
+					j.sinceCk += n
+					if fo.RecordSchedules {
+						j.commitSched = append(j.commitSched, j.batch...)
+					}
+				}
 				j.batch = j.batch[:0]
 				j.remaining -= n
 				j.running -= n
@@ -338,11 +569,16 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				res.Events += n
 				if j.remaining == 0 {
 					freeMem += j.slice
-					res.Jobs[j.idx] = JobResult{
+					jr := JobResult{
 						Name: j.spec.Name, Nodes: j.spec.Tree.Len(),
 						Arrival: j.spec.Arrival, Start: j.start, Finish: now,
 						Peak: j.peak, Slice: j.slice, Estimate: j.est,
+						Attempts: j.attempt + 1,
 					}
+					if fo != nil && fo.RecordSchedules {
+						jr.Schedule = append([]tree.NodeID(nil), j.commitSched...)
+					}
+					res.Jobs[j.idx] = jr
 					if now > res.Makespan {
 						res.Makespan = now
 					}
@@ -354,6 +590,41 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						}
 					}
 					active = kept
+				} else if fo != nil {
+					// Task boundary: after the batch's OnFinish, before any
+					// launch at this instant — the checkpoint contract.
+					booked := j.sched.BookedMemory()
+					if ckpol.Should(j.sinceCk, booked, j.peakBooked) {
+						j.cp = j.sched.CheckpointInto(j.cp)
+						j.ckCommits = len(j.commitSched)
+						j.sinceCk = 0
+						j.workSinceCk = 0
+						res.Checkpoints++
+					}
+					if booked > j.peakBooked {
+						j.peakBooked = booked
+					}
+				}
+			}
+		}
+		// Fault epochs at this instant strike after same-instant
+		// completions commit: a crash kills the job running on that
+		// processor, a burst kills every job with running work.
+		if plan != nil {
+			for s := range slots {
+				if slots[s].job != nil && plan.NextCrash(s, prev) == now {
+					failJob(slots[s].job)
+				}
+			}
+			if plan.NextBurst(prev) == now {
+				var victims []*job
+				for _, j := range active {
+					if j.running > 0 {
+						victims = append(victims, j)
+					}
+				}
+				for _, j := range victims {
+					failJob(j)
 				}
 			}
 		}
@@ -364,6 +635,11 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				res.MaxQueue = len(queue)
 			}
 		}
+	}
+	if fo != nil && math.Abs(freeMem-opt.Mem) > eps {
+		// Every slice must have been released exactly once across the
+		// fail/retry windows; a leak here is a partition-invariant bug.
+		return nil, fmt.Errorf("multitree: slice accounting leak: %g of %g back in the pool", freeMem, opt.Mem)
 	}
 	if res.Makespan > 0 {
 		res.AvgQueue /= res.Makespan

@@ -19,11 +19,17 @@ type QueuedJob struct {
 	Name    string
 	Nodes   int
 	Arrival float64
-	// Peak is peak(AO_j): the smallest admissible slice.
+	// Peak is the smallest admissible slice: peak(AO_j), raised to the
+	// checkpoint's booked memory for a job re-queued after a failure
+	// (restoring into a smaller slice would break the snapshot's
+	// Theorem 1 witness).
 	Peak float64
 	// Estimate is the job's makespan lower bound at the full processor
 	// count — the "runtime estimate" ordering and backfill reserve by.
 	Estimate float64
+	// Retries counts the job's failed attempts so far (0 for a fresh
+	// submission); policies may use it to prioritise or age out retries.
+	Retries int
 }
 
 // ActiveJob is the policy's view of one admitted, unfinished job.
@@ -60,7 +66,7 @@ func (st *State) fill(queue, active []*job) {
 	for _, j := range queue {
 		st.Queue = append(st.Queue, QueuedJob{
 			Name: j.spec.Name, Nodes: j.spec.Tree.Len(), Arrival: j.spec.Arrival,
-			Peak: j.peak, Estimate: j.est,
+			Peak: j.minSlice, Estimate: j.est, Retries: j.attempt,
 		})
 	}
 	st.Active = st.Active[:0]

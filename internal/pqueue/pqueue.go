@@ -163,6 +163,25 @@ func (h *EventHeap) PopBatch(dst []int32) (float64, []int32) {
 	}
 }
 
+// Filter removes every pending event whose keep(id) reports false and
+// re-heapifies, in O(n). Sequence numbers of survivors are untouched,
+// so the (Time, Seq) pop order of the kept events is exactly what it
+// would have been — the property the fault-injecting simulator relies
+// on when a fail-stop failure cancels the completion events of one
+// job's in-flight tasks without disturbing the rest of the timeline.
+func (h *EventHeap) Filter(keep func(id int32) bool) {
+	kept := h.ev[:0]
+	for _, e := range h.ev {
+		if keep(e.ID) {
+			kept = append(kept, e)
+		}
+	}
+	h.ev = kept
+	for i := len(h.ev)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 func (h *EventHeap) less(i, j int) bool {
 	if h.ev[i].Time != h.ev[j].Time {
 		return h.ev[i].Time < h.ev[j].Time

@@ -110,6 +110,41 @@ func TestEventHeapFIFOTies(t *testing.T) {
 	}
 }
 
+// Filter must drop exactly the rejected events and leave the pop order
+// of the survivors identical to an untouched heap that never held them.
+func TestEventHeapFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var h, want EventHeap
+	drop := map[int32]bool{}
+	for i := int32(0); i < 300; i++ {
+		tm := float64(rng.Intn(40)) // many exact ties
+		h.Push(tm, i)
+		if i%3 == 0 {
+			drop[i] = true
+		} else {
+			want.Push(tm, i)
+		}
+	}
+	h.Filter(func(id int32) bool { return !drop[id] })
+	if h.Len() != want.Len() {
+		t.Fatalf("filtered len %d, want %d", h.Len(), want.Len())
+	}
+	for want.Len() > 0 {
+		a, b := h.Pop(), want.Pop()
+		if a.Time != b.Time || a.ID != b.ID {
+			t.Fatalf("pop order diverged: got (%g,%d) want (%g,%d)", a.Time, a.ID, b.Time, b.ID)
+		}
+	}
+	// Filtering everything empties the heap; filtering an empty heap is a
+	// no-op.
+	h.Push(1, 1)
+	h.Filter(func(int32) bool { return false })
+	if h.Len() != 0 {
+		t.Fatalf("filter-all left %d events", h.Len())
+	}
+	h.Filter(func(int32) bool { return true })
+}
+
 func TestEventHeapRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var h EventHeap

@@ -4,6 +4,9 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
+
+	"repro/internal/faults"
 )
 
 // This file is the asynchronous job API: POST /jobs enqueues a
@@ -32,10 +35,12 @@ const (
 // JobView is the JSON shape of one job: the 202 body of POST /jobs and
 // the 200 body of GET /jobs/{id}. Response is set once Status is
 // "done"; Error/ErrorStatus (plus Bound/MinMemory on admission-control
-// failures) once it is "failed".
+// failures) once it is "failed". Attempts counts evaluation attempts so
+// far (> 1 only for jobs retried after a transient failure).
 type JobView struct {
 	ID          uint64    `json:"id"`
 	Status      string    `json:"status"`
+	Attempts    int       `json:"attempts,omitempty"`
 	Response    *Response `json:"response,omitempty"`
 	Error       string    `json:"error,omitempty"`
 	ErrorStatus int       `json:"error_status,omitempty"`
@@ -48,7 +53,10 @@ type JobView struct {
 type jobRecord struct {
 	id        uint64
 	status    string
-	cost      int64 // payload bytes retained while queued or running
+	cost      int64     // payload bytes retained while queued or running
+	attempts  int       // evaluation attempts started
+	req       *Request  // retained while pending, for the shutdown checkpoint
+	deadline  time.Time // zero = none
 	resp      *Response
 	errStatus int
 	errBody   errorBody
@@ -89,8 +97,10 @@ func newJobStore(maxPending int, maxBytes int64, maxTracked int) *jobStore {
 // evicting the oldest finished records over the tracked budget. It
 // fails (backpressure) when the pending-count or pending-bytes budget
 // is exhausted — except that a job is never refused on bytes when the
-// queue is empty, so one admissible request cannot wedge.
-func (js *jobStore) enqueue(cost int64) (*jobRecord, bool) {
+// queue is empty, so one admissible request cannot wedge. The request
+// is retained on the record while the job is pending so a shutdown
+// checkpoint can save unfinished work.
+func (js *jobStore) enqueue(req *Request, cost int64) (*jobRecord, bool) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	if js.queued+js.running >= js.maxPending {
@@ -100,7 +110,10 @@ func (js *jobStore) enqueue(cost int64) (*jobRecord, bool) {
 		return nil, false
 	}
 	js.nextID++
-	rec := &jobRecord{id: js.nextID, status: JobQueued, cost: cost}
+	rec := &jobRecord{id: js.nextID, status: JobQueued, cost: cost, req: req}
+	if req != nil && req.Deadline > 0 {
+		rec.deadline = time.Now().Add(time.Duration(req.Deadline * float64(time.Second)))
+	}
 	js.bytes += cost
 	js.byID[rec.id] = rec
 	js.fifo = append(js.fifo, rec.id)
@@ -123,22 +136,35 @@ func (js *jobStore) enqueue(cost int64) (*jobRecord, bool) {
 	return rec, true
 }
 
-// setRunning moves a queued job to running.
+// setRunning moves a queued job to running, counting the attempt.
 func (js *jobStore) setRunning(rec *jobRecord) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	rec.status = JobRunning
+	rec.attempts++
 	js.queued--
 	js.running++
 }
 
+// requeue moves a running job back to queued after a transient failure:
+// its payload-byte reservation and retained request stay (the job is
+// still pending), its attempt count keeps the history.
+func (js *jobStore) requeue(rec *jobRecord) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rec.status = JobQueued
+	js.running--
+	js.queued++
+}
+
 // finish records the outcome of a running job and releases its
-// payload-byte reservation (the Request is dropped with the runner).
+// payload-byte reservation and retained request.
 func (js *jobStore) finish(rec *jobRecord, resp *Response, herr *httpError) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	js.running--
 	js.bytes -= rec.cost
+	rec.req = nil
 	if herr != nil {
 		rec.status = JobFailed
 		rec.errStatus = herr.status
@@ -151,6 +177,40 @@ func (js *jobStore) finish(rec *jobRecord, resp *Response, herr *httpError) {
 	js.done++
 }
 
+// expire fails a pending job from either pending state (deadline
+// passed while queued, or mid-backoff between attempts).
+func (js *jobStore) expire(rec *jobRecord, herr *httpError) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if rec.status == JobQueued {
+		js.queued--
+	} else {
+		js.running--
+	}
+	js.bytes -= rec.cost
+	rec.req = nil
+	rec.status = JobFailed
+	rec.errStatus = herr.status
+	rec.errBody = herr.body
+	js.failed++
+}
+
+// pending returns the retained requests of every queued or running job,
+// oldest first: the shutdown checkpoint of work the drain window did
+// not finish.
+func (js *jobStore) pending() []Request {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	var out []Request
+	for _, id := range js.fifo {
+		rec := js.byID[id]
+		if rec != nil && rec.req != nil && (rec.status == JobQueued || rec.status == JobRunning) {
+			out = append(out, *rec.req)
+		}
+	}
+	return out
+}
+
 // view returns the JSON snapshot of a job.
 func (js *jobStore) view(id uint64) (JobView, bool) {
 	js.mu.Lock()
@@ -159,7 +219,7 @@ func (js *jobStore) view(id uint64) (JobView, bool) {
 	if !ok {
 		return JobView{}, false
 	}
-	v := JobView{ID: rec.id, Status: rec.status, Response: rec.resp}
+	v := JobView{ID: rec.id, Status: rec.status, Attempts: rec.attempts, Response: rec.resp}
 	if rec.status == JobFailed {
 		v.Error = rec.errBody.Error
 		v.ErrorStatus = rec.errStatus
@@ -181,6 +241,13 @@ func (js *jobStore) gauges() (queued, running int, pendingBytes, done, failed in
 // under a worker-pool slot exactly like /schedule (hostile bytes are as
 // reachable here); the evaluation itself runs later, on its own slot.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Restart imminent: answer before taking a pool slot (runners may
+		// hold them all while they finish) and tell pollers when to retry.
+		w.Header().Set("Retry-After", "5")
+		s.reject(w, fail(http.StatusServiceUnavailable, "shutting down: new jobs are not accepted"))
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-r.Context().Done():
@@ -195,35 +262,131 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	// The retained payload is dominated by the inline tree text; the
-	// fixed fields of a Request are a few hundred bytes.
-	cost := int64(len(req.Tree)) + 512
-	rec, ok := s.jobs.enqueue(cost)
+	if req.Retries < 0 {
+		s.reject(w, fail(http.StatusBadRequest, "retries must be non-negative, got %d", req.Retries))
+		return
+	}
+	if req.Deadline < 0 {
+		s.reject(w, fail(http.StatusBadRequest, "deadline must be non-negative seconds, got %g", req.Deadline))
+		return
+	}
+	rec, ok := s.submitJob(req)
 	if !ok {
+		// 429 is backpressure, not rejection: the queue drains at worker
+		// speed, so a short pause is the right client response.
+		w.Header().Set("Retry-After", "1")
 		s.reject(w, fail(http.StatusTooManyRequests, "job queue full (caps: %d pending jobs, %d pending payload bytes)",
 			s.opts.MaxQueuedJobs, s.opts.MaxQueuedBytes))
 		return
 	}
-	go s.runJob(rec, req)
 	writeJSON(w, http.StatusAccepted, JobView{ID: rec.id, Status: JobQueued})
 }
 
-// runJob evaluates one queued job on a worker-pool slot and stores the
-// outcome. Async completions count into the same served/rejected
-// ledger as synchronous responses.
-func (s *Server) runJob(rec *jobRecord, req *Request) {
-	s.sem <- struct{}{}
-	s.inFlight.Add(1)
-	s.jobs.setRunning(rec)
-	resp, herr := s.schedule(req)
-	s.jobs.finish(rec, resp, herr)
-	if herr == nil {
-		s.served.Add(1)
-	} else if herr.status < http.StatusInternalServerError {
-		s.rejected.Add(1)
+// submitJob enqueues one decoded request and starts its runner; it is
+// the shared path of POST /jobs and the checkpoint-restore boot.
+func (s *Server) submitJob(req *Request) (*jobRecord, bool) {
+	// The retained payload is dominated by the inline tree text; the
+	// fixed fields of a Request are a few hundred bytes.
+	cost := int64(len(req.Tree)) + 512
+	rec, ok := s.jobs.enqueue(req, cost)
+	if !ok {
+		return nil, false
 	}
-	s.inFlight.Add(-1)
-	<-s.sem
+	s.jobsWG.Add(1)
+	go s.runJob(rec, req)
+	return rec, true
+}
+
+// jobBackoff paces retries of transiently-failed jobs (delays in
+// milliseconds, keyed by job id so simultaneous failures decorrelate).
+var jobBackoff = faults.Backoff{Base: 100, Cap: 5000, Jitter: 0.2}
+
+// runJob evaluates one queued job on a worker-pool slot and stores the
+// outcome. Transient failures (5xx: the request was fine, the attempt
+// was not) are retried up to the request's retry budget with capped
+// exponential backoff; 4xx outcomes are deterministic verdicts on the
+// request and never retried. A request deadline bounds the job's whole
+// pending life — queue wait, evaluation and backoff included — and
+// expires it with 504. Async completions count into the same
+// served/rejected ledger as synchronous responses.
+func (s *Server) runJob(rec *jobRecord, req *Request) {
+	defer s.jobsWG.Done()
+	for {
+		if !rec.deadline.IsZero() {
+			// The slot wait is part of the pending life the deadline bounds:
+			// a queued job whose turn comes too late expires, it does not
+			// start a doomed evaluation.
+			t := time.NewTimer(time.Until(rec.deadline))
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+			case <-t.C:
+				s.expireJob(rec)
+				return
+			}
+		} else {
+			s.sem <- struct{}{}
+		}
+		s.inFlight.Add(1)
+		s.jobs.setRunning(rec)
+		eval := s.schedule
+		if s.evalHook != nil {
+			eval = s.evalHook
+		}
+		resp, herr := eval(req)
+		s.inFlight.Add(-1)
+		<-s.sem
+		transient := herr != nil && herr.status >= http.StatusInternalServerError
+		if transient && rec.attempts <= req.Retries {
+			s.jobs.requeue(rec)
+			if !s.waitRetry(rec) {
+				s.expireJob(rec)
+				return
+			}
+			continue
+		}
+		s.jobs.finish(rec, resp, herr)
+		if herr == nil {
+			s.served.Add(1)
+		} else if herr.status < http.StatusInternalServerError {
+			s.rejected.Add(1)
+		}
+		return
+	}
+}
+
+// waitRetry sleeps the backoff before the job's next attempt. A drain
+// cuts the wait short (the retry proceeds immediately, so pending work
+// resolves inside the shutdown window); a deadline expiring mid-wait
+// returns false.
+func (s *Server) waitRetry(rec *jobRecord) bool {
+	d := time.Duration(jobBackoff.Delay("job#"+strconv.FormatUint(rec.id, 10), rec.attempts-1) * float64(time.Millisecond))
+	if !rec.deadline.IsZero() {
+		if left := time.Until(rec.deadline); left <= d {
+			time.Sleep(max(left, 0))
+			return false
+		}
+	}
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.drainCh:
+	}
+	return true
+}
+
+// expireJob fails a pending job whose deadline passed before an attempt
+// could finish. Only the job's own runner goroutine drives the record's
+// transitions, so reading attempts here is ordered by its earlier store
+// calls.
+func (s *Server) expireJob(rec *jobRecord) {
+	s.jobs.expire(rec, fail(http.StatusGatewayTimeout,
+		"deadline exceeded after %d attempt(s)", rec.attempts))
+	s.rejected.Add(1)
 }
 
 // handleJobGet reports one job's lifecycle.

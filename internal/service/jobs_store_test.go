@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"sync"
 	"testing"
 )
 
@@ -9,23 +10,23 @@ import (
 // count is at the cap refuses new jobs until one finishes.
 func TestJobStorePendingBudget(t *testing.T) {
 	js := newJobStore(2, 1<<20, 10)
-	a, ok := js.enqueue(100)
+	a, ok := js.enqueue(&Request{}, 100)
 	if !ok {
 		t.Fatal("first enqueue refused")
 	}
-	b, ok := js.enqueue(100)
+	b, ok := js.enqueue(&Request{}, 100)
 	if !ok {
 		t.Fatal("second enqueue refused")
 	}
-	if _, ok := js.enqueue(100); ok {
+	if _, ok := js.enqueue(&Request{}, 100); ok {
 		t.Fatal("enqueue accepted over the pending budget")
 	}
 	js.setRunning(a)
-	if _, ok := js.enqueue(100); ok {
+	if _, ok := js.enqueue(&Request{}, 100); ok {
 		t.Fatal("running jobs must still count against the budget")
 	}
 	js.finish(a, &Response{Makespan: 1}, nil)
-	if _, ok := js.enqueue(100); !ok {
+	if _, ok := js.enqueue(&Request{}, 100); !ok {
 		t.Fatal("enqueue refused after a slot freed")
 	}
 	js.setRunning(b)
@@ -46,7 +47,7 @@ func TestJobStoreEvictsOldestFinished(t *testing.T) {
 	js := newJobStore(4, 1<<20, 4)
 	recs := make([]*jobRecord, 0, 3)
 	for i := 0; i < 3; i++ {
-		r, ok := js.enqueue(100)
+		r, ok := js.enqueue(&Request{}, 100)
 		if !ok {
 			t.Fatalf("enqueue %d refused", i)
 		}
@@ -54,14 +55,14 @@ func TestJobStoreEvictsOldestFinished(t *testing.T) {
 		js.finish(r, &Response{Makespan: float64(i)}, nil)
 		recs = append(recs, r)
 	}
-	pending, ok := js.enqueue(100)
+	pending, ok := js.enqueue(&Request{}, 100)
 	if !ok {
 		t.Fatal("enqueue refused under budget")
 	}
 	// Budget now full (4 tracked). Two more enqueues must evict the two
 	// oldest finished jobs — and only those.
 	for i := 0; i < 2; i++ {
-		if _, ok := js.enqueue(100); !ok {
+		if _, ok := js.enqueue(&Request{}, 100); !ok {
 			t.Fatalf("enqueue %d refused", i)
 		}
 	}
@@ -84,7 +85,7 @@ func TestJobStoreEvictsOldestFinished(t *testing.T) {
 func TestJobStoreBudgetClamp(t *testing.T) {
 	js := newJobStore(8, 1<<20, 2)
 	for i := 0; i < 8; i++ {
-		if _, ok := js.enqueue(100); !ok {
+		if _, ok := js.enqueue(&Request{}, 100); !ok {
 			t.Fatalf("enqueue %d refused with a clamped tracked budget", i)
 		}
 	}
@@ -93,23 +94,128 @@ func TestJobStoreBudgetClamp(t *testing.T) {
 	}
 }
 
+// A failed-then-retried job walks queued → running → queued → running →
+// done with its attempt history intact, holding its byte reservation
+// and retained request the whole pending life.
+func TestJobStoreRequeueTransitions(t *testing.T) {
+	js := newJobStore(4, 1<<20, 10)
+	req := &Request{Heuristic: "MemBooking"}
+	rec, ok := js.enqueue(req, 300)
+	if !ok {
+		t.Fatal("enqueue refused")
+	}
+	js.setRunning(rec)
+	js.requeue(rec)
+	if v, _ := js.view(rec.id); v.Status != JobQueued || v.Attempts != 1 {
+		t.Fatalf("after requeue: %+v", v)
+	}
+	if queued, running, bytes, _, _, _ := js.gauges(); queued != 1 || running != 0 || bytes != 300 {
+		t.Fatalf("requeue dropped the reservation: queued %d running %d bytes %d", queued, running, bytes)
+	}
+	if got := js.pending(); len(got) != 1 || got[0].Heuristic != "MemBooking" {
+		t.Fatalf("pending after requeue: %+v", got)
+	}
+	js.setRunning(rec)
+	js.finish(rec, &Response{Makespan: 7}, nil)
+	if v, _ := js.view(rec.id); v.Status != JobDone || v.Attempts != 2 || v.Response.Makespan != 7 {
+		t.Fatalf("after recovery: %+v", v)
+	}
+	if queued, running, bytes, done, failed, _ := js.gauges(); queued+running != 0 || bytes != 0 || done != 1 || failed != 0 {
+		t.Fatalf("ledger after recovery: %d %d %d %d %d", queued, running, bytes, done, failed)
+	}
+	if got := js.pending(); len(got) != 0 {
+		t.Fatalf("finished job still pending: %+v", got)
+	}
+}
+
+// Expiry releases the reservation from either pending state.
+func TestJobStoreExpire(t *testing.T) {
+	for _, fromRunning := range []bool{false, true} {
+		js := newJobStore(4, 1<<20, 10)
+		rec, _ := js.enqueue(&Request{}, 100)
+		if fromRunning {
+			js.setRunning(rec)
+		}
+		js.expire(rec, fail(http.StatusGatewayTimeout, "deadline"))
+		v, _ := js.view(rec.id)
+		if v.Status != JobFailed || v.ErrorStatus != http.StatusGatewayTimeout {
+			t.Fatalf("fromRunning=%v: %+v", fromRunning, v)
+		}
+		if queued, running, bytes, _, failed, _ := js.gauges(); queued != 0 || running != 0 || bytes != 0 || failed != 1 {
+			t.Fatalf("fromRunning=%v ledger: %d %d %d %d", fromRunning, queued, running, bytes, failed)
+		}
+	}
+}
+
+// Concurrent enqueue/finish traffic around a tight tracked budget must
+// keep the store consistent under -race: the eviction scan runs inside
+// enqueue while finishers mutate records, which is exactly the window
+// where a stale read could evict a pending job or corrupt the gauges.
+func TestJobStoreConcurrentFinishEviction(t *testing.T) {
+	const (
+		maxPending = 8
+		maxTracked = 10
+		workers    = 8
+		perWorker  = 200
+	)
+	js := newJobStore(maxPending, 1<<20, maxTracked)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec, ok := js.enqueue(&Request{}, 64)
+				if !ok {
+					continue // backpressure under contention is expected
+				}
+				js.setRunning(rec)
+				switch i % 3 {
+				case 0:
+					js.finish(rec, &Response{}, nil)
+				case 1:
+					js.requeue(rec)
+					js.setRunning(rec)
+					js.finish(rec, nil, fail(http.StatusInternalServerError, "boom"))
+				default:
+					js.expire(rec, fail(http.StatusGatewayTimeout, "deadline"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	queued, running, bytes, done, failed, tracked := js.gauges()
+	if queued != 0 || running != 0 || bytes != 0 {
+		t.Fatalf("pending state leaked: queued %d running %d bytes %d", queued, running, bytes)
+	}
+	if tracked > maxTracked {
+		t.Fatalf("tracked %d over the %d budget", tracked, maxTracked)
+	}
+	if done+failed == 0 {
+		t.Fatal("no job completed")
+	}
+	if got := js.pending(); len(got) != 0 {
+		t.Fatalf("%d jobs pending after drain", len(got))
+	}
+}
+
 // The byte budget refuses further jobs while pending payloads hold it,
 // releases on finish, and never wedges a lone maximal request.
 func TestJobStoreByteBudget(t *testing.T) {
 	js := newJobStore(10, 250, 20)
-	a, ok := js.enqueue(200)
+	a, ok := js.enqueue(&Request{}, 200)
 	if !ok {
 		t.Fatal("first enqueue refused")
 	}
-	if _, ok := js.enqueue(100); ok {
+	if _, ok := js.enqueue(&Request{}, 100); ok {
 		t.Fatal("enqueue accepted over the byte budget")
 	}
 	js.setRunning(a)
-	if _, ok := js.enqueue(100); ok {
+	if _, ok := js.enqueue(&Request{}, 100); ok {
 		t.Fatal("running payloads must still hold the byte budget")
 	}
 	js.finish(a, &Response{}, nil)
-	b, ok := js.enqueue(100)
+	b, ok := js.enqueue(&Request{}, 100)
 	if !ok {
 		t.Fatal("enqueue refused after bytes released")
 	}
@@ -118,7 +224,7 @@ func TestJobStoreByteBudget(t *testing.T) {
 	// limit is).
 	js.setRunning(b)
 	js.finish(b, &Response{}, nil)
-	if _, ok := js.enqueue(10_000); !ok {
+	if _, ok := js.enqueue(&Request{}, 10_000); !ok {
 		t.Fatal("lone over-budget request wedged")
 	}
 	if _, _, bytes, _, _, _ := js.gauges(); bytes != 10_000 {

@@ -23,6 +23,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/baseline"
@@ -173,6 +175,18 @@ type Request struct {
 	// Trace requests the schedule trace (one span per task) in the
 	// response.
 	Trace bool `json:"trace,omitempty"`
+
+	// Retries (async jobs only) re-runs the evaluation after a transient
+	// failure — a 5xx outcome, where the request was fine but the attempt
+	// was not — up to this many times, with capped exponential backoff
+	// between attempts. Deterministic 4xx verdicts are never retried.
+	Retries int `json:"retries,omitempty"`
+	// Deadline (async jobs only) bounds the job's whole pending life in
+	// wall-clock seconds from submission — queue wait, evaluation and
+	// retry backoff included. A job still pending at the deadline fails
+	// with 504. Zero means no deadline. After a checkpoint restore the
+	// clock restarts at the new submission.
+	Deadline float64 `json:"deadline,omitempty"`
 }
 
 // SyntheticSpec generates a synthetic tree (§7.1 distribution).
@@ -269,17 +283,69 @@ type Server struct {
 	inFlight atomic.Int64
 	served   atomic.Int64
 	rejected atomic.Int64
+
+	// draining refuses new async jobs once Drain has been called;
+	// drainCh (closed by Drain) cuts retry backoff waits short so
+	// pending jobs resolve inside the shutdown window; jobsWG tracks
+	// every job runner goroutine for the drain wait.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
+	jobsWG    sync.WaitGroup
+
+	// evalHook replaces schedule() on the async path when non-nil
+	// (tests inject deterministic transient failures through it).
+	evalHook func(*Request) (*Response, *httpError)
 }
 
 // New returns a Server with the given options (nil selects defaults).
 func New(opts *Options) *Server {
 	o := opts.withDefaults()
 	return &Server{
-		opts:  o,
-		cache: newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
-		jobs:  newJobStore(o.MaxQueuedJobs, o.MaxQueuedBytes, o.MaxTrackedJobs),
-		sem:   make(chan struct{}, o.Workers),
+		opts:    o,
+		cache:   newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
+		jobs:    newJobStore(o.MaxQueuedJobs, o.MaxQueuedBytes, o.MaxTrackedJobs),
+		sem:     make(chan struct{}, o.Workers),
+		drainCh: make(chan struct{}),
 	}
+}
+
+// Drain stops accepting new asynchronous jobs (POST /jobs answers 503
+// with Retry-After) and waits for the pending ones to finish, cutting
+// retry backoff waits short. When ctx expires first, the requests of
+// the jobs still pending are returned oldest-first — the shutdown
+// checkpoint a restarted daemon can resubmit through RestoreJobs.
+// Jobs mid-evaluation at expiry are checkpointed too: the evaluation
+// is a pure function of the request, so re-running it from scratch
+// loses nothing but time (fail-stop semantics).
+func (s *Server) Drain(ctx context.Context) []Request {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return s.jobs.pending()
+	}
+}
+
+// RestoreJobs resubmits checkpointed requests from a previous daemon's
+// Drain, in order, and reports how many were admitted (the queue caps
+// still apply; a smaller restarted queue keeps the newest work out).
+func (s *Server) RestoreJobs(reqs []Request) int {
+	admitted := 0
+	for i := range reqs {
+		req := reqs[i]
+		if _, ok := s.submitJob(&req); ok {
+			admitted++
+		}
+	}
+	return admitted
 }
 
 // Handler returns the HTTP API: POST /schedule, POST /jobs,
@@ -289,14 +355,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
+}
+
+// Health is the /healthz payload: "ok" (200) or "degraded" (503) with
+// the reasons. Degraded is early warning for load balancers and
+// operators — the service still answers, but new work is near a
+// backpressure limit or a restart: the async queue at ≥ 90% of its
+// job-count or payload-byte cap, every worker slot busy, or a drain in
+// progress.
+type Health struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Healthz evaluates the degraded-state rules against the live gauges.
+func (s *Server) Healthz() Health {
+	var reasons []string
+	queued, running, pendingBytes, _, _, _ := s.jobs.gauges()
+	if pending := queued + running; pending*10 >= s.opts.MaxQueuedJobs*9 {
+		reasons = append(reasons, fmt.Sprintf("job queue at %d of %d", pending, s.opts.MaxQueuedJobs))
+	}
+	if pendingBytes*10 >= s.opts.MaxQueuedBytes*9 {
+		reasons = append(reasons, fmt.Sprintf("pending payload bytes at %d of %d", pendingBytes, s.opts.MaxQueuedBytes))
+	}
+	if s.inFlight.Load() >= int64(s.opts.Workers) {
+		reasons = append(reasons, fmt.Sprintf("all %d workers busy", s.opts.Workers))
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "shutting down")
+	}
+	if len(reasons) > 0 {
+		return Health{Status: "degraded", Reasons: reasons}
+	}
+	return Health{Status: "ok"}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Healthz()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // Stats returns a snapshot of the service counters.

@@ -74,10 +74,12 @@ func (r *RNG) Norm() float64 {
 // (mean 1/rate): the inter-arrival distribution of a Poisson job
 // stream. The draw count per call is a pure function of the stream (a
 // zero uniform is redrawn), so sequences stay deterministic per seed.
-// It panics on a non-positive rate.
+// It panics on a non-positive or non-finite rate: +Inf passes a bare
+// sign check but would silently collapse every gap to zero, turning a
+// Poisson stream into a simultaneous batch.
 func (r *RNG) Exp(rate float64) float64 {
-	if !(rate > 0) {
-		panic("workload: Exp with non-positive rate")
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		panic("workload: Exp rate must be positive and finite")
 	}
 	u := r.Float64()
 	for u == 0 {

@@ -86,6 +86,22 @@ func TestRNGExpDeterministicAndScaled(t *testing.T) {
 	NewRNG(1).Exp(0)
 }
 
+// Exp must reject every rate that is not a positive finite number: a
+// NaN fails the sign check, but +Inf passes it and would yield
+// all-zero gaps without the explicit finiteness guard.
+func TestRNGExpRejectsNonFiniteRate(t *testing.T) {
+	for _, rate := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), -1, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Exp(%v) did not panic", rate)
+				}
+			}()
+			NewRNG(1).Exp(rate)
+		}()
+	}
+}
+
 func TestRNGPickDistribution(t *testing.T) {
 	r := NewRNG(3)
 	w := []float64{0.58, 0.17, 0.08, 0.08, 0.08}

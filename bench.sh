@@ -11,10 +11,13 @@
 # each cell a full job-stream simulation over one shared memory pool),
 # the fault-tolerance sweep (fault model × checkpoint policy ×
 # admission heuristic, each cell with seeded fault injection and
-# checkpoint/restart recovery), and one warm treeschedd request
+# checkpoint/restart recovery), one warm treeschedd request
 # (10k-node tree through the full HTTP stack with the
-# prepared-instance cache hot).
-# Values are nanoseconds.
+# prepared-instance cache hot), the raw-speed stream tier (the
+# 10k-job/10.5M-node mixed-size corpus through multitree.Run end to
+# end: ns per scheduled node and jobs per second), and the async job
+# API throughput (waves of POST /jobs polled to completion).
+# Values are nanoseconds unless the key says otherwise.
 set -eu
 
 cd "$(dirname "$0")"
@@ -25,6 +28,11 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|BenchmarkMinMemPostOrder|BenchmarkSchedPerEventLarge|BenchmarkRobustSweep|BenchmarkMultiSweep$|BenchmarkFaultsSweep$|BenchmarkServiceRequest' \
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
+# The stream tier runs seconds per iteration (10k jobs, ~10.5M nodes on
+# one event loop), so it gets its own, smaller iteration count.
+go test -run '^$' -bench 'BenchmarkMultiStreamLarge|BenchmarkServiceJobsThroughput' \
+	-benchtime "${STREAM_BENCHTIME:-2x}" -timeout 30m . | tee -a "$tmp"
+
 awk '
 BEGIN { nlt = 0 }
 $1 ~ /^BenchmarkFigSuite$/ { suite=$3 }
@@ -34,6 +42,8 @@ $1 ~ /^BenchmarkRobustSweep/ { robust=$3 }
 $1 ~ /^BenchmarkMultiSweep/ { multi=$3 }
 $1 ~ /^BenchmarkFaultsSweep/ { faults=$3 }
 $1 ~ /^BenchmarkServiceRequest/ { svc=$3 }
+$1 ~ /^BenchmarkMultiStreamLarge/ { msjps=$5; msnode=$7 }
+$1 ~ /^BenchmarkServiceJobsThroughput/ { sjps=$5 }
 $1 ~ /^BenchmarkSchedPerEventLarge\// {
 	key=$1
 	sub(/^BenchmarkSchedPerEventLarge\//, "", key)
@@ -49,6 +59,9 @@ END {
 	printf "  \"multi_sweep_ns\": %s,\n", (multi == "" ? "null" : multi)
 	printf "  \"faults_sweep_ns\": %s,\n", (faults == "" ? "null" : faults)
 	printf "  \"service_req_ns\": %s,\n", (svc == "" ? "null" : svc)
+	printf "  \"multi_stream_ns_per_node\": %s,\n", (msnode == "" ? "null" : msnode)
+	printf "  \"multi_stream_jobs_per_sec\": %s,\n", (msjps == "" ? "null" : msjps)
+	printf "  \"service_jobs_per_sec\": %s,\n", (sjps == "" ? "null" : sjps)
 	printf "  \"large_tier_sched_ns_per_node\": {\n"
 	for (i = 0; i < nlt; i++)
 		printf "    \"%s\": %s%s\n", ltk[i], ltv[i], (i < nlt-1 ? "," : "")

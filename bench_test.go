@@ -22,6 +22,7 @@ import (
 	"repro/internal/distributed"
 	"repro/internal/harness"
 	"repro/internal/moldable"
+	"repro/internal/multitree"
 	"repro/internal/order"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -473,6 +474,13 @@ func BenchmarkRobustSweep(b *testing.B) { benchExperiment(b, "robust") }
 // (bench.sh records it as multi_sweep_ns).
 func BenchmarkMultiSweep(b *testing.B) { benchExperiment(b, "multi") }
 
+// BenchmarkMultiStreamSweep measures the stream-tier harness
+// experiment: seeded MakeStream corpora (mixed-size rungs, burst
+// arrivals), one per policy × load cell, through the engine's worker
+// pool. The raw-speed numbers come from BenchmarkMultiStreamLarge;
+// this one tracks the experiment itself.
+func BenchmarkMultiStreamSweep(b *testing.B) { benchExperiment(b, "multi_stream") }
+
 // BenchmarkFaultsSweep measures the fault-tolerance experiment: the
 // fault-model × checkpoint-policy × admission-heuristic grid, every
 // cell a job-stream simulation with seeded fault injection,
@@ -494,6 +502,132 @@ func BenchmarkDistributedRun(b *testing.B) {
 }
 
 func BenchmarkPriceStudy(b *testing.B) { benchExperiment(b, "price") }
+
+// The raw-speed stream tier: one mixed-size job stream driven through
+// multitree.Run end to end. The Large variant is the headline corpus —
+// 10k jobs, ~10.5M nodes over 13 log-spaced size rungs (100..100k),
+// random/chain/star shapes, Poisson arrivals with bursts — and reports
+// the two throughput figures bench.sh records as
+// multi_stream_ns_per_node and multi_stream_jobs_per_sec. The Smoke
+// variant is the same pipeline at CI scale (≤500 jobs), guarded against
+// regression by scripts/bench_guard.sh.
+
+var (
+	streamOnce  sync.Once
+	streamSpecs []multitree.JobSpec
+	streamInfo  *multitree.StreamInfo
+)
+
+func streamCorpus() ([]multitree.JobSpec, *multitree.StreamInfo) {
+	streamOnce.Do(func() {
+		streamSpecs, streamInfo = multitree.MakeStream(&multitree.StreamOptions{Seed: 7})
+	})
+	return streamSpecs, streamInfo
+}
+
+func benchStream(b *testing.B, specs []multitree.JobSpec, info *multitree.StreamInfo) {
+	b.Helper()
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := multitree.Run(specs, &multitree.Options{Procs: 32, Mem: info.Mem, Policy: multitree.EASY{}})
+		elapsed += time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events != info.TotalNodes {
+			b.Fatalf("committed %d events, corpus has %d nodes", res.Events, info.TotalNodes)
+		}
+	}
+	b.StopTimer()
+	perRun := elapsed.Seconds() / float64(b.N)
+	b.ReportMetric(elapsed.Seconds()*1e9/float64(b.N)/float64(info.TotalNodes), "ns/node")
+	b.ReportMetric(float64(info.Jobs)/perRun, "jobs/sec")
+}
+
+func BenchmarkMultiStreamLarge(b *testing.B) {
+	specs, info := streamCorpus()
+	benchStream(b, specs, info)
+}
+
+func BenchmarkMultiStreamSmoke(b *testing.B) {
+	specs, info := multitree.MakeStream(&multitree.StreamOptions{
+		Seed: 7, Jobs: 500, MinNodes: 50, MaxNodes: 5000, Rungs: 9})
+	benchStream(b, specs, info)
+}
+
+// BenchmarkServiceJobsThroughput measures the asynchronous job API end
+// to end: waves of POST /jobs submissions of a warm (cache-resident)
+// tree, polled to completion, reported as jobs/sec (bench.sh records it
+// as service_jobs_per_sec).
+func BenchmarkServiceJobsThroughput(b *testing.B) {
+	srv := service.New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t := benchTree(1000)
+	var buf bytes.Buffer
+	if err := tree.Write(&buf, t); err != nil {
+		b.Fatal(err)
+	}
+	payload, err := json.Marshal(map[string]any{"tree": buf.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	const wave = 128
+	runWave := func() {
+		ids := make([]uint64, 0, wave)
+		for len(ids) < wave {
+			resp, err := client.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var jv service.JobView
+			err = json.NewDecoder(resp.Body).Decode(&jv)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("submit status %d", resp.StatusCode)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, jv.ID)
+		}
+		for _, id := range ids {
+			for {
+				resp, err := client.Get(ts.URL + "/jobs/" + itoa(int(id)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var jv service.JobView
+				err = json.NewDecoder(resp.Body).Decode(&jv)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if jv.Status == service.JobDone {
+					break
+				}
+				if jv.Status == service.JobFailed {
+					b.Fatalf("job %d failed: %s", id, jv.Error)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+	runWave() // first wave pays preparation; measured waves are warm
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		runWave()
+		elapsed += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wave)*float64(b.N)/elapsed.Seconds(), "jobs/sec")
+}
 
 // BenchmarkServiceRequest measures one warm scheduling request through
 // the full treeschedd HTTP stack: a 10k-node tree already resident in

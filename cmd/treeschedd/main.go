@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,12 +58,19 @@ func main() {
 		trackJobs   = flag.Int("max-jobs", 4096, "async job records retained for polling (oldest finished evicted)")
 		ckFile      = flag.String("checkpoint-file", "", "save async jobs still pending at shutdown here and resubmit them on the next boot")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for pending async jobs before checkpointing them")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: treeschedd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "treeschedd:", err)
+			os.Exit(1)
+		}
 	}
 	if err := run(*addr, &service.Options{
 		Procs:          *procs,
@@ -78,6 +86,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treeschedd:", err)
 		os.Exit(1)
 	}
+}
+
+// servePprof exposes net/http/pprof on its own listener, kept off the
+// API address so profiling endpoints are never reachable through the
+// public port (bind it to localhost). The profile mux is registered on
+// a private ServeMux — importing net/http/pprof only for its handlers
+// would pollute http.DefaultServeMux, which the API does not use but
+// other imports might.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "treeschedd: pprof on %s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "treeschedd: pprof server:", err)
+		}
+	}()
+	return nil
 }
 
 // restoreJobs resubmits the previous daemon's checkpointed jobs, if a

@@ -70,3 +70,38 @@ func TestServeScheduleShutdown(t *testing.T) {
 		t.Fatal("server did not shut down on SIGINT")
 	}
 }
+
+// The -pprof listener is separate from the API address and serves the
+// standard profile index.
+func TestServePprof(t *testing.T) {
+	if err := servePprof("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// servePprof logs the bound address; bind a known port instead for a
+	// deterministic probe.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if err := servePprof(addr); err != nil {
+		t.Fatal(err)
+	}
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/debug/pprof/")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "profile") {
+		t.Fatalf("pprof index: status %d body %.80s", resp.StatusCode, b)
+	}
+}

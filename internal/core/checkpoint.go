@@ -121,7 +121,6 @@ func (s *MemBooking) Restore(cp *Checkpoint) error {
 		s.state = make([]uint8, n)
 		s.chNotAct = make([]int32, n)
 		s.chNotFin = make([]int32, n)
-		s.cand = pqueue.NewRankHeap(nil)
 		s.actf = pqueue.NewRankHeap(nil)
 	}
 	copy(s.state, cp.state)
@@ -143,8 +142,11 @@ func (s *MemBooking) Restore(cp *Checkpoint) error {
 			s.state[i] = stateACT
 		}
 	}
-	// The children counters and both heaps are pure functions of the
-	// state vector: rebuild them in O(n).
+	// The children counters, the activation cursor and the execution heap
+	// are pure functions of the state vector: rebuild them in O(n). The
+	// activated nodes always form a prefix of the activation order (see
+	// the aoPos field comment), so the cursor is the first position whose
+	// node is not yet activated.
 	for i := 0; i < n; i++ {
 		s.chNotAct[i] = 0
 		s.chNotFin[i] = 0
@@ -162,16 +164,17 @@ func (s *MemBooking) Restore(cp *Checkpoint) error {
 			s.chNotFin[p]++
 		}
 	}
-	s.cand.Reset(s.ao.Rank())
+	s.aoPos = n
+	for k, v := range s.ao.Seq {
+		if st := s.state[v]; st == stateUN || st == stateCAND {
+			s.aoPos = k
+			break
+		}
+	}
 	s.actf.Reset(s.eo.Rank())
 	for i := 0; i < n; i++ {
-		switch s.state[i] {
-		case stateCAND:
-			s.cand.Push(int32(i))
-		case stateACT:
-			if s.chNotFin[i] == 0 {
-				s.actf.Push(int32(i))
-			}
+		if s.state[i] == stateACT && s.chNotFin[i] == 0 {
+			s.actf.Push(int32(i))
 		}
 	}
 	// Memory freed between the snapshot and the failure is free again

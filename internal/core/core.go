@@ -80,10 +80,21 @@ type MemBooking struct {
 	// instead of O(degree) child re-scans.
 	childSum []float64
 
-	state     []uint8
-	chNotAct  []int32 // children still in UN ∪ CAND
-	chNotFin  []int32 // children not finished
-	cand      *pqueue.RankHeap
+	state    []uint8
+	chNotAct []int32 // children still in UN ∪ CAND
+	chNotFin []int32 // children not finished
+
+	// aoPos is the activation cursor: the position in AO.Seq of the next
+	// node to activate. Because the activation order is topological, the
+	// children of Seq[aoPos] all precede it in the sequence; once every
+	// node before the cursor is activated, Seq[aoPos] is necessarily a
+	// candidate, so the set of activated nodes is always exactly the
+	// prefix Seq[:aoPos] and the paper's CAND heap degenerates to this
+	// cursor — activation costs O(1) per node instead of O(log n) heap
+	// maintenance (with its random rank-array accesses), which profiles
+	// showed dominating Init on high-fanout trees.
+	aoPos int
+
 	actf      *pqueue.RankHeap
 	remaining int
 	selbuf    []tree.NodeID // reusable Select result buffer
@@ -165,11 +176,10 @@ func (s *MemBooking) Init() error {
 		s.state = make([]uint8, n)
 		s.chNotAct = make([]int32, n)
 		s.chNotFin = make([]int32, n)
-		s.cand = pqueue.NewRankHeap(nil)
 		s.actf = pqueue.NewRankHeap(nil)
 	}
-	s.cand.Reset(s.ao.Rank())
 	s.actf.Reset(s.eo.Rank())
+	s.aoPos = 0
 	s.mbooked = 0
 	s.transient = 0
 	s.remaining = n
@@ -185,7 +195,6 @@ func (s *MemBooking) Init() error {
 		s.chNotFin[i] = d
 		if d == 0 {
 			s.state[i] = stateCAND
-			s.cand.Push(int32(i))
 		}
 	}
 	s.updateCandAct()
@@ -289,13 +298,16 @@ func (s *MemBooking) setBBS(i tree.NodeID, v float64) {
 }
 
 // updateCandAct activates candidates in AO order while the missing memory
-// fits under the bound (Algorithm 6, lines 18–30). With the incremental
-// childSum aggregate both BookedBySubtree evaluations are O(1); the
-// recomputeBBS ablation knob restores the full O(degree) child re-scan
-// (subtreeSum) as a correctness oracle for the incremental accounting.
+// fits under the bound (Algorithm 6, lines 18–30). The candidate head is
+// always Seq[aoPos] (see the aoPos field comment), so the round is a
+// cursor walk. With the incremental childSum aggregate both
+// BookedBySubtree evaluations are O(1); the recomputeBBS ablation knob
+// restores the full O(degree) child re-scan (subtreeSum) as a
+// correctness oracle for the incremental accounting.
 func (s *MemBooking) updateCandAct() {
-	for s.cand.Len() > 0 {
-		i := tree.NodeID(s.cand.Min())
+	seq := s.ao.Seq
+	for s.aoPos < len(seq) {
+		i := seq[s.aoPos]
 		if s.recomputeBBS {
 			s.setBBS(i, s.subtreeSum(i))
 		} else if s.bbs[i] == -1 {
@@ -308,7 +320,7 @@ func (s *MemBooking) updateCandAct() {
 		if s.mbooked+s.transient+missing > s.m+s.eps {
 			return // wait for more memory
 		}
-		s.cand.Pop()
+		s.aoPos++
 		s.booked[i] += missing
 		s.mbooked += missing
 		if s.recomputeBBS {
@@ -324,7 +336,6 @@ func (s *MemBooking) updateCandAct() {
 			s.chNotAct[p]--
 			if s.chNotAct[p] == 0 {
 				s.state[p] = stateCAND
-				s.cand.Push(int32(p))
 			}
 		}
 	}

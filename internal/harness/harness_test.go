@@ -52,8 +52,8 @@ func cellFloat(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "avgmem", "dist", "faults", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "lb", "moldable", "multi", "price", "profile", "redfail",
-		"robust"}
+		"fig8", "fig9", "lb", "moldable", "multi", "multi_stream", "price", "profile",
+		"redfail", "robust"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(got), len(want), got)

@@ -53,17 +53,18 @@ var registry = map[string]Runner{
 	"fig15": func(c *Config) (*Table, error) {
 		return procSweep("fig15", "makespan vs memory bound for p in 2..32, synthetic trees (Fig. 15)", c.synthetic(), c)
 	},
-	"lb":       lbStats,
-	"redfail":  redTreeFailures,
-	"avgmem":   avgMemStudy,
-	"profile":  memProfile,
-	"ablation": ablationStudy,
-	"moldable": moldableStudy,
-	"dist":     distStudy,
-	"price":    priceStudy,
-	"robust":   robustStudy,
-	"multi":    multiStudy,
-	"faults":   faultsStudy,
+	"lb":           lbStats,
+	"redfail":      redTreeFailures,
+	"avgmem":       avgMemStudy,
+	"profile":      memProfile,
+	"ablation":     ablationStudy,
+	"moldable":     moldableStudy,
+	"dist":         distStudy,
+	"price":        priceStudy,
+	"robust":       robustStudy,
+	"multi":        multiStudy,
+	"multi_stream": multiStreamStudy,
+	"faults":       faultsStudy,
 }
 
 // Run executes the experiment with the given ID.

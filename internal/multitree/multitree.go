@@ -16,8 +16,10 @@
 package multitree
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/bounds"
@@ -36,6 +38,12 @@ type JobSpec struct {
 	Tree *tree.Tree
 	// Arrival is the submission time (≥ 0).
 	Arrival float64
+	// AO and Peak optionally carry the job's precomputed activation order
+	// (must be topological for Tree, with Peak its sequential peak). When
+	// AO is nil, Run computes both via order.MinMemPostOrder; corpora
+	// replayed across many runs precompute them once instead.
+	AO   *order.Order
+	Peak float64
 }
 
 // Options configure a cluster run.
@@ -237,7 +245,9 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		}
 	}
 
-	jobs := make([]*job, len(specs))
+	// One backing array for every job's runtime state: a 10k-job stream
+	// costs one allocation here, not 10k.
+	jobs := make([]job, len(specs))
 	for i, sp := range specs {
 		if sp.Tree == nil || sp.Tree.Len() == 0 {
 			return nil, fmt.Errorf("multitree: job %q has no tree", sp.Name)
@@ -245,20 +255,25 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		if sp.Arrival < 0 || math.IsNaN(sp.Arrival) || math.IsInf(sp.Arrival, 0) {
 			return nil, fmt.Errorf("multitree: job %q has invalid arrival %g", sp.Name, sp.Arrival)
 		}
-		ao, peak := order.MinMemPostOrder(sp.Tree)
+		ao, peak := sp.AO, sp.Peak
+		if ao == nil {
+			ao, peak = order.MinMemPostOrder(sp.Tree)
+		}
 		if peak > opt.Mem {
 			return nil, fmt.Errorf("multitree: job %q needs %g memory, over the cluster pool %g — no slice can admit it", sp.Name, peak, opt.Mem)
 		}
-		jobs[i] = &job{spec: sp, idx: i, ao: ao, peak: peak, minSlice: peak, est: bounds.Classical(sp.Tree, p)}
+		jobs[i] = job{spec: sp, idx: i, ao: ao, peak: peak, minSlice: peak, est: bounds.Classical(sp.Tree, p)}
 	}
 	// Arrival order: by time, submission index breaking ties.
 	byArrival := make([]*job, len(jobs))
-	copy(byArrival, jobs)
-	sort.SliceStable(byArrival, func(a, b int) bool {
-		if byArrival[a].spec.Arrival != byArrival[b].spec.Arrival {
-			return byArrival[a].spec.Arrival < byArrival[b].spec.Arrival
+	for i := range jobs {
+		byArrival[i] = &jobs[i]
+	}
+	slices.SortStableFunc(byArrival, func(a, b *job) int {
+		if c := cmp.Compare(a.spec.Arrival, b.spec.Arrival); c != 0 {
+			return c
 		}
-		return byArrival[a].idx < byArrival[b].idx
+		return cmp.Compare(a.idx, b.idx)
 	})
 
 	var (
@@ -269,6 +284,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		queue     []*job // waiting for admission, arrival order
 		retryQ    []*job // failed jobs waiting out backoff, (retryAt, idx) order
 		active    []*job // admitted, admission order
+		relOrder  []*job // active, sorted by (estEnd, slice, idx) — EASY's shadow order
 		arrIdx    = 0
 		now       = 0.0
 		freeProcs = p
@@ -277,6 +293,16 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		eps       = 1e-9 * (1 + opt.Mem)
 		idbuf     []int32 // PopBatch destination, recycled
 		finished  = 0
+		pool      core.MemBookingPool
+		// admitDirty gates the admission pass: policies are pure functions
+		// of (queue, free memory), so re-invoking them is pointless until
+		// the queue gains a member or memory returns to the pool (see the
+		// State doc comment for why advancing time alone cannot help).
+		admitDirty = true
+		admitMark  []bool          // per-round admitted marks, recycled
+		touched    []*job          // per-instant OnFinish grouping, recycled
+		victims    []*job          // burst kill list, recycled
+		batchFree  [][]tree.NodeID // retired jobs' batch buffers, recycled
 	)
 	events.Grow(p)
 	for i := range freeSlots {
@@ -312,6 +338,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 			j.commitSched = j.commitSched[:j.ckCommits]
 		}
 		freeMem += j.slice
+		admitDirty = true
 		kept := active[:0]
 		for _, a := range active {
 			if a != j {
@@ -319,12 +346,24 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 			}
 		}
 		active = kept
+		keptR := relOrder[:0]
+		for _, a := range relOrder {
+			if a != j {
+				keptR = append(keptR, a)
+			}
+		}
+		relOrder = keptR
+		pool.Put(j.sched)
 		j.sched = nil
 		j.attempt++
 		if j.cp != nil && j.cp.BookedMemory() > j.minSlice {
 			j.minSlice = j.cp.BookedMemory()
 		}
 		if j.attempt > fo.MaxRetries {
+			if j.batch != nil {
+				batchFree = append(batchFree, j.batch[:0])
+				j.batch = nil
+			}
 			res.FailedJobs++
 			finished++
 			res.Jobs[j.idx] = JobResult{
@@ -359,20 +398,30 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		for len(retryQ) > 0 && retryQ[0].retryAt <= now {
 			queue = append(queue, retryQ[0])
 			retryQ = retryQ[1:]
+			admitDirty = true
 			if len(queue) > res.MaxQueue {
 				res.MaxQueue = len(queue)
 			}
 		}
-		// Admission: let the policy carve slices while jobs wait.
-		if len(queue) > 0 {
+		// Admission: let the policy carve slices while jobs wait. Skipped
+		// while neither the queue nor the free pool has changed since the
+		// last pass — a pure policy would only repeat its empty answer.
+		if admitDirty && len(queue) > 0 {
+			admitDirty = false
 			st.Now, st.FreeProcs, st.FreeMem = now, freeProcs, freeMem
-			st.fill(queue, active)
+			st.fill(queue, active, relOrder)
 			ads := pol.Admit(st)
-			admitted := make(map[int]bool, len(ads))
+			if cap(admitMark) < len(queue) {
+				admitMark = make([]bool, len(queue))
+			} else {
+				admitMark = admitMark[:len(queue)]
+				clear(admitMark)
+			}
+			nAdmitted := 0
 			// Collect first, then delete from the queue, so admission
 			// indices stay valid while the policy's list is applied.
 			for _, ad := range ads {
-				if ad.Queue < 0 || ad.Queue >= len(queue) || admitted[ad.Queue] {
+				if ad.Queue < 0 || ad.Queue >= len(queue) || admitMark[ad.Queue] {
 					return nil, fmt.Errorf("multitree: policy %q admitted invalid queue index %d", pol.Name(), ad.Queue)
 				}
 				j := queue[ad.Queue]
@@ -382,9 +431,10 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				if ad.Slice > freeMem+eps {
 					return nil, fmt.Errorf("multitree: policy %q granted job %q slice %g over the free pool %g — Σ slices would exceed M", pol.Name(), j.spec.Name, ad.Slice, freeMem)
 				}
-				admitted[ad.Queue] = true
+				admitMark[ad.Queue] = true
+				nAdmitted++
 				j.slice = ad.Slice
-				sched, err := core.NewMemBooking(j.spec.Tree, j.slice, j.ao, j.ao)
+				sched, err := pool.Get(j.spec.Tree, j.slice, j.ao, j.ao)
 				if err != nil {
 					return nil, fmt.Errorf("multitree: job %q: %w", j.spec.Name, err)
 				}
@@ -415,11 +465,28 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				}
 				freeMem -= j.slice
 				active = append(active, j)
+				// Keep the release order sorted through the insertion:
+				// admissions arrive with ever-later estEnd far more often
+				// than not, so the search lands near the tail and the copy
+				// moves little (temporal coherence, à la sweep-and-prune).
+				at := sort.Search(len(relOrder), func(k int) bool {
+					r := relOrder[k]
+					if r.estEnd != j.estEnd {
+						return r.estEnd > j.estEnd
+					}
+					if r.slice != j.slice {
+						return r.slice > j.slice
+					}
+					return r.idx > j.idx
+				})
+				relOrder = append(relOrder, nil)
+				copy(relOrder[at+1:], relOrder[at:])
+				relOrder[at] = j
 			}
-			if len(admitted) > 0 {
+			if nAdmitted > 0 {
 				kept := queue[:0]
 				for qi, j := range queue {
-					if !admitted[qi] {
+					if !admitMark[qi] {
 						kept = append(kept, j)
 					}
 				}
@@ -512,14 +579,19 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 			// Group the batch per job (first-touch order) so each job's
 			// scheduler sees exactly one OnFinish per instant, as the
 			// engine contract requires.
-			var touched []*job
+			touched = touched[:0]
 			for _, slot := range ids {
 				rec := slots[slot]
 				slots[slot].job = nil
 				freeSlots = append(freeSlots, slot)
 				j := rec.job
 				if j.batch == nil {
-					j.batch = make([]tree.NodeID, 0, 4)
+					if k := len(batchFree); k > 0 {
+						j.batch = batchFree[k-1]
+						batchFree = batchFree[:k-1]
+					} else {
+						j.batch = make([]tree.NodeID, 0, 4)
+					}
 				}
 				if len(j.batch) == 0 {
 					touched = append(touched, j)
@@ -569,6 +641,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				res.Events += n
 				if j.remaining == 0 {
 					freeMem += j.slice
+					admitDirty = true
 					jr := JobResult{
 						Name: j.spec.Name, Nodes: j.spec.Tree.Len(),
 						Arrival: j.spec.Arrival, Start: j.start, Finish: now,
@@ -590,6 +663,21 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						}
 					}
 					active = kept
+					keptR := relOrder[:0]
+					for _, a := range relOrder {
+						if a != j {
+							keptR = append(keptR, a)
+						}
+					}
+					relOrder = keptR
+					// Retire the job's scheduler and batch buffer: a later
+					// admission of a same-size-class job reuses both.
+					pool.Put(j.sched)
+					j.sched = nil
+					if j.batch != nil {
+						batchFree = append(batchFree, j.batch[:0])
+						j.batch = nil
+					}
 				} else if fo != nil {
 					// Task boundary: after the batch's OnFinish, before any
 					// launch at this instant — the checkpoint contract.
@@ -617,7 +705,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				}
 			}
 			if plan.NextBurst(prev) == now {
-				var victims []*job
+				victims = victims[:0]
 				for _, j := range active {
 					if j.running > 0 {
 						victims = append(victims, j)
@@ -628,9 +716,13 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				}
 			}
 		}
+		// A whole same-instant arrival burst joins the queue here and is
+		// batched through a single policy pass at the top of the next
+		// iteration, rather than one admission round per arrival.
 		for arrIdx < len(byArrival) && byArrival[arrIdx].spec.Arrival == now {
 			queue = append(queue, byArrival[arrIdx])
 			arrIdx++
+			admitDirty = true
 			if len(queue) > res.MaxQueue {
 				res.MaxQueue = len(queue)
 			}

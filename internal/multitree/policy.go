@@ -1,9 +1,6 @@
 package multitree
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // This file holds the admission/partition policies. A policy sees a
 // read-only snapshot of the cluster (State) and answers with the queued
@@ -44,9 +41,25 @@ type ActiveJob struct {
 	Running int
 }
 
+// Release is one active job's promise to return its slice: backfilling
+// treats EstEnd as the instant Mem memory rejoins the pool.
+type Release struct {
+	At  float64
+	Mem float64
+}
+
 // State is the read-only cluster snapshot a policy decides from. The
 // slices are reused between admission rounds; policies must not retain
 // them.
+//
+// Policies must be pure functions of (Now, Mem, FreeMem, Queue,
+// Releases): the simulator re-invokes Admit only when the queue gains
+// members or memory returns to the pool, because between those events a
+// pure policy's decision can only stay empty — advancing Now alone never
+// makes an infeasible admission feasible (EASY's endsInTime test only
+// flips from true to false as Now grows). In particular policies must
+// not key on FreeProcs: processors churn every event without changing
+// memory feasibility.
 type State struct {
 	Now       float64
 	Procs     int
@@ -58,10 +71,18 @@ type State struct {
 	// jobs in admission order.
 	Queue  []QueuedJob
 	Active []ActiveJob
+	// Releases mirrors Active sorted ascending by (At, Mem): the order
+	// EASY's shadow walk consumes. The simulator maintains the sort
+	// incrementally — admissions insert, completions remove — because
+	// release times exhibit temporal coherence (the order barely changes
+	// between rounds), so no per-decision sort is ever needed.
+	Releases []Release
 }
 
 // fill refreshes the snapshot's job views from the simulator's state.
-func (st *State) fill(queue, active []*job) {
+// relOrder is the active set in (estEnd, slice, idx) order, maintained
+// incrementally by the simulator.
+func (st *State) fill(queue, active, relOrder []*job) {
 	st.Queue = st.Queue[:0]
 	for _, j := range queue {
 		st.Queue = append(st.Queue, QueuedJob{
@@ -75,6 +96,10 @@ func (st *State) fill(queue, active []*job) {
 			Name: j.spec.Name, Slice: j.slice, Start: j.start, EstEnd: j.estEnd,
 			Running: j.running,
 		})
+	}
+	st.Releases = st.Releases[:0]
+	for _, j := range relOrder {
+		st.Releases = append(st.Releases, Release{At: j.estEnd, Mem: j.slice})
 	}
 }
 
@@ -258,29 +283,16 @@ func (e EASY) Admit(st *State) []Admission {
 	}
 	head := &st.Queue[next]
 
-	// Shadow time: walk active jobs by estimated end, accumulating the
-	// slices they return, until the head fits; extra is the memory left
-	// over at that instant beyond the head's need.
-	type rel struct {
-		t float64
-		m float64
-	}
-	rels := make([]rel, 0, len(st.Active))
-	for i := range st.Active {
-		rels = append(rels, rel{st.Active[i].EstEnd, st.Active[i].Slice})
-	}
-	sort.Slice(rels, func(a, b int) bool {
-		if rels[a].t != rels[b].t {
-			return rels[a].t < rels[b].t
-		}
-		return rels[a].m < rels[b].m
-	})
+	// Shadow time: walk active jobs by estimated end — st.Releases is
+	// already in that order — accumulating the slices they return, until
+	// the head fits; extra is the memory left over at that instant beyond
+	// the head's need.
 	shadow := st.Now
 	avail := free
 	ri := 0
-	for avail < head.Peak && ri < len(rels) {
-		avail += rels[ri].m
-		shadow = rels[ri].t
+	for avail < head.Peak && ri < len(st.Releases) {
+		avail += st.Releases[ri].Mem
+		shadow = st.Releases[ri].At
 		ri++
 	}
 	if avail < head.Peak {

@@ -1,0 +1,195 @@
+package multitree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// This file builds the raw-speed stream tier's job corpus: a seeded,
+// deterministic mixed-size stream of tree jobs driven through Run to
+// measure scheduler throughput at cluster scale (the 10k-job/10M-node
+// benchmark). Sizes are log-spaced with a power-law count profile so
+// most jobs are small while most *nodes* sit in the large rungs — the
+// shape of real multifrontal workloads — and arrivals are Poisson with
+// periodic simultaneous bursts that stress batch admission.
+
+// StreamOptions parameterise MakeStream. The zero value selects the
+// reference corpus: 10 000 jobs, sizes 100..100 000 over 13 log-spaced
+// rungs (~10.5M nodes total), random/chain/star shape mix, Poisson
+// arrivals at offered load 1 with a 20-job burst every 50 groups.
+type StreamOptions struct {
+	// Seed derives everything: trees, shapes, arrival times.
+	Seed uint64
+	// Jobs is the target job count (default 10000).
+	Jobs int
+	// MinNodes and MaxNodes bound the size rungs (defaults 100 and
+	// 100000); Rungs is the number of log-spaced sizes between them
+	// (default 13). Per-rung job counts fall off as r^(-0.8·i) with the
+	// rung ratio r, so small jobs dominate the count and large jobs the
+	// node total.
+	MinNodes, MaxNodes, Rungs int
+	// Procs calibrates the arrival rate (default 32): the mean
+	// inter-arrival gap is mean service time at Procs divided by Load.
+	Procs int
+	// Load is the offered load ρ (default 1: critically loaded).
+	Load float64
+	// BurstEvery makes every BurstEvery-th arrival group a simultaneous
+	// burst of BurstSize jobs (defaults 50 and 20; a negative BurstEvery
+	// disables bursts). The gap scale compensates so the long-run rate
+	// still matches Load.
+	BurstEvery, BurstSize int
+}
+
+// StreamInfo summarises a built corpus.
+type StreamInfo struct {
+	Jobs       int
+	TotalNodes int
+	TotalWork  float64
+	// MaxPeak is the largest per-job sequential peak; Mem is the
+	// suggested pool size (4 × MaxPeak, the multi experiment's sizing:
+	// enough concurrency for policies to differ, tight enough to queue).
+	MaxPeak, Mem float64
+	// MeanGap is the calibrated mean inter-arrival gap.
+	MeanGap float64
+}
+
+func (o *StreamOptions) defaults() StreamOptions {
+	d := StreamOptions{Jobs: 10000, MinNodes: 100, MaxNodes: 100000, Rungs: 13,
+		Procs: 32, Load: 1, BurstEvery: 50, BurstSize: 20}
+	if o == nil {
+		return d
+	}
+	v := *o
+	if v.Jobs <= 0 {
+		v.Jobs = d.Jobs
+	}
+	if v.MinNodes <= 0 {
+		v.MinNodes = d.MinNodes
+	}
+	if v.MaxNodes <= 0 {
+		v.MaxNodes = d.MaxNodes
+	}
+	if v.MaxNodes < v.MinNodes {
+		v.MaxNodes = v.MinNodes
+	}
+	if v.Rungs <= 0 {
+		v.Rungs = d.Rungs
+	}
+	if v.Procs <= 0 {
+		v.Procs = d.Procs
+	}
+	if !(v.Load > 0) {
+		v.Load = d.Load
+	}
+	if v.BurstEvery == 0 {
+		v.BurstEvery = d.BurstEvery
+	}
+	if v.BurstSize <= 1 {
+		v.BurstSize = d.BurstSize
+	}
+	return v
+}
+
+// MakeStream builds the corpus: job specs in submission order with
+// precomputed activation orders and peaks (so replaying the stream
+// skips preparation), plus the calibration summary. The same options
+// always produce the same corpus, byte for byte.
+func MakeStream(opt *StreamOptions) ([]JobSpec, *StreamInfo) {
+	o := opt.defaults()
+	rng := workload.NewRNG(o.Seed ^ 0x73747265616d) // "stream" tag keeps corpora off other seeds
+
+	// Size rungs: MinNodes·r^i for i < Rungs, counts ∝ r^(-0.8·i),
+	// scaled to the job target (each rung keeps at least one job).
+	r := 1.0
+	if o.Rungs > 1 {
+		r = math.Pow(float64(o.MaxNodes)/float64(o.MinNodes), 1/float64(o.Rungs-1))
+	}
+	weights := make([]float64, o.Rungs)
+	wsum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(r, -0.8*float64(i))
+		wsum += weights[i]
+	}
+	var sizes []int
+	for i := 0; i < o.Rungs; i++ {
+		sz := int(math.Round(float64(o.MinNodes) * math.Pow(r, float64(i))))
+		cnt := int(math.Round(float64(o.Jobs) * weights[i] / wsum))
+		if cnt < 1 {
+			cnt = 1
+		}
+		for k := 0; k < cnt; k++ {
+			sizes = append(sizes, sz)
+		}
+	}
+	// Deterministic shuffle so arrival order interleaves the rungs.
+	for i := len(sizes) - 1; i > 0; i-- {
+		k := rng.Intn(i + 1)
+		sizes[i], sizes[k] = sizes[k], sizes[i]
+	}
+
+	// Shape mix: mostly random trees, with chain (max depth: stresses
+	// the ALAP dispatch walk) and star (max fanout: stresses activation)
+	// stress shapes mixed in.
+	shapeW := []float64{0.6, 0.2, 0.2}
+	specs := make([]JobSpec, len(sizes))
+	info := &StreamInfo{Jobs: len(sizes)}
+	for i, sz := range sizes {
+		var (
+			tr   *tree.Tree
+			err  error
+			name string
+		)
+		treeRNG := workload.NewRNG(o.Seed + uint64(i)*0x9e3779b97f4a7c15 + uint64(sz))
+		switch rng.Pick(shapeW) {
+		case 1:
+			name = "chain"
+			tr, err = workload.Chain(treeRNG, sz)
+		case 2:
+			name = "star"
+			tr, err = workload.Star(treeRNG, sz)
+		default:
+			name = "random"
+			tr, err = workload.Synthetic(treeRNG, workload.SyntheticOptions{Nodes: sz})
+		}
+		if err != nil {
+			panic(fmt.Sprintf("multitree: stream corpus generation: %v", err)) // sizes are validated above
+		}
+		ao, peak := order.MinMemPostOrder(tr)
+		specs[i] = JobSpec{Name: fmt.Sprintf("s%05d-%s-n%d", i, name, sz), Tree: tr, AO: ao, Peak: peak}
+		info.TotalNodes += sz
+		info.TotalWork += tr.TotalWork()
+		if peak > info.MaxPeak {
+			info.MaxPeak = peak
+		}
+	}
+	info.Mem = 4 * info.MaxPeak
+
+	// Arrivals: Poisson groups at the calibrated rate, every
+	// BurstEvery-th group a simultaneous burst. The gap scale carries
+	// the mean group size so the long-run offered load stays Load.
+	meanService := info.TotalWork / float64(len(specs)) / float64(o.Procs)
+	meanGroup := 1.0
+	if o.BurstEvery > 0 {
+		meanGroup = (float64(o.BurstEvery-1) + float64(o.BurstSize)) / float64(o.BurstEvery)
+	}
+	info.MeanGap = meanService / o.Load
+	rate := 1 / (info.MeanGap * meanGroup)
+	t, i, group := 0.0, 0, 0
+	for i < len(specs) {
+		t += rng.Exp(rate)
+		n := 1
+		if o.BurstEvery > 0 && group%o.BurstEvery == o.BurstEvery-1 {
+			n = o.BurstSize
+		}
+		for k := 0; k < n && i < len(specs); k++ {
+			specs[i].Arrival = t
+			i++
+		}
+		group++
+	}
+	return specs, info
+}

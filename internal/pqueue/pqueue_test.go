@@ -203,6 +203,89 @@ func TestEventHeapPopBatchMatchesPopLoop(t *testing.T) {
 	}
 }
 
+// TestEventHeapFilterPopBatchInterleaved drives the heap through random
+// interleavings of Push, Grow, Filter and PopBatch — the exact operation
+// mix of the fault-injecting job-stream simulator, where a fail-stop
+// failure Filters one job's events out mid-timeline — and checks every
+// drained batch against a sorted-slice model ordered by (Time, Seq).
+func TestEventHeapFilterPopBatchInterleaved(t *testing.T) {
+	type ev struct {
+		time float64
+		id   int32
+		seq  int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h EventHeap
+		var model []ev
+		seq := 0
+		nextID := int32(0)
+		popBatch := func() bool {
+			if h.Len() == 0 {
+				return len(model) == 0
+			}
+			sort.SliceStable(model, func(a, b int) bool {
+				if model[a].time != model[b].time {
+					return model[a].time < model[b].time
+				}
+				return model[a].seq < model[b].seq
+			})
+			tmin := model[0].time
+			var want []int32
+			for len(model) > 0 && model[0].time == tmin {
+				want = append(want, model[0].id)
+				model = model[1:]
+			}
+			gotT, got := h.PopBatch(nil)
+			if gotT != tmin || len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // push, with frequent exact time ties
+				tm := float64(rng.Intn(6))
+				seq++
+				h.Push(tm, nextID)
+				model = append(model, ev{tm, nextID, seq})
+				nextID++
+			case 4: // grow mid-stream must not disturb order
+				h.Grow(h.Len() + rng.Intn(64))
+			case 5, 6: // filter a random subset (keep ≈ 2/3)
+				dropMod := int32(3 + rng.Intn(4))
+				keep := func(id int32) bool { return id%dropMod != 0 }
+				h.Filter(keep)
+				kept := model[:0]
+				for _, e := range model {
+					if keep(e.id) {
+						kept = append(kept, e)
+					}
+				}
+				model = kept
+			default: // drain one batch
+				if !popBatch() {
+					return false
+				}
+			}
+		}
+		for h.Len() > 0 || len(model) > 0 {
+			if !popBatch() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEventHeapGrow(t *testing.T) {
 	var h EventHeap
 	h.Push(2.0, 1)

@@ -180,7 +180,14 @@ func (t *Tree) MemNeeded(i NodeID) float64 {
 
 // MemNeededAll returns MemNeeded for every node in one pass.
 func (t *Tree) MemNeededAll() []float64 {
-	m := make([]float64, t.Len())
+	return t.MemNeededInto(make([]float64, t.Len()))
+}
+
+// MemNeededInto fills m (which must have length Len) with MemNeeded for
+// every node and returns it: the allocation-free variant schedulers
+// rebound to a new tree use to recompute their need vector in place.
+func (t *Tree) MemNeededInto(m []float64) []float64 {
+	m = m[:t.Len()]
 	for i := range m {
 		m[i] = t.exec[i] + t.out[i]
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_guard.sh — benchstat-style regression guard for the stream
+# tier. Runs the reduced smoke corpus (BenchmarkMultiStreamSmoke, 500
+# jobs) a few times, takes the best ns/node (min across -count runs,
+# the standard way to cut scheduler/CI noise), and fails if it
+# regresses more than GUARD_SLACK percent (default 20) against the
+# committed baseline in scripts/bench_baseline.txt.
+#
+# To refresh the baseline after an intentional perf change:
+#   go test -run '^$' -bench MultiStreamSmoke -benchtime 3x -count 3 .
+# then write the best ns/node into scripts/bench_baseline.txt.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline_file=scripts/bench_baseline.txt
+slack=${GUARD_SLACK:-20}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMultiStreamSmoke' \
+	-benchtime "${GUARD_BENCHTIME:-3x}" -count "${GUARD_COUNT:-3}" . | tee "$tmp"
+
+cur=$(awk '$1 ~ /^BenchmarkMultiStreamSmoke/ && ($7+0 < best || best == "") { best=$7 } END { print best }' "$tmp")
+base=$(awk '$1 == "multi_stream_smoke_ns_per_node" { print $2 }' "$baseline_file")
+
+if [ -z "$cur" ]; then
+	echo "bench_guard: benchmark produced no ns/node sample" >&2
+	exit 1
+fi
+if [ -z "$base" ]; then
+	echo "bench_guard: no multi_stream_smoke_ns_per_node in $baseline_file" >&2
+	exit 1
+fi
+
+awk -v cur="$cur" -v base="$base" -v slack="$slack" 'BEGIN {
+	limit = base * (1 + slack / 100)
+	printf "bench_guard: smoke stream %s ns/node (baseline %s, limit %.1f at +%s%%)\n", cur, base, limit, slack
+	if (cur + 0 > limit) {
+		printf "bench_guard: REGRESSION: %.1f ns/node is %.1f%% over the %s baseline\n", cur, (cur / base - 1) * 100, base
+		exit 1
+	}
+	if (cur + 0 < base * 0.8)
+		printf "bench_guard: note: %.0f%% faster than baseline — consider refreshing %s\n", (1 - cur / base) * 100, "scripts/bench_baseline.txt"
+}'

@@ -1,0 +1,116 @@
+// Command treeschedlint is the repo's contract checker: a vet-style
+// multichecker bundling the four analyzers of internal/analysis
+// (policypure, detfree, poollife, errtyped). It runs two ways:
+//
+// As a vet tool — the mode CI uses (scripts/lint.sh):
+//
+//	go build -o bin/treeschedlint ./cmd/treeschedlint
+//	go vet -vettool=$(pwd)/bin/treeschedlint ./...
+//
+// go vet hands it one compilation unit at a time with compiler export
+// data, so typechecking is fast and results are build-cached.
+//
+// Standalone — convenient during development:
+//
+//	go run ./cmd/treeschedlint ./...
+//	go run ./cmd/treeschedlint -detfree ./internal/trace
+//
+// Standalone mode loads packages from source (no build step needed).
+// In both modes -<analyzer>[=false] selects a subset, diagnostics are
+// printed as file:line:col: message [analyzer], and the exit status is
+// nonzero iff diagnostics were reported. A finding that is a proven
+// false positive can be suppressed at the site with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it (see DESIGN.md §11).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detfree"
+	"repro/internal/analysis/errtyped"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/policypure"
+	"repro/internal/analysis/poollife"
+	"repro/internal/analysis/unitchecker"
+)
+
+var analyzers = []*analysis.Analyzer{
+	policypure.Analyzer,
+	detfree.Analyzer,
+	poollife.Analyzer,
+	errtyped.Analyzer,
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// `go vet` speaks the unitchecker protocol: -flags, -V=full, or a
+	// single *.cfg argument. Anything else is a standalone invocation
+	// with package patterns.
+	if unitchecker.IsCfgArgs(args) || hasProtocolFlag(args) {
+		if err := unitchecker.Main(progname, args, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(2)
+		}
+		return
+	}
+	os.Exit(standalone(progname, args))
+}
+
+func hasProtocolFlag(args []string) bool {
+	for _, a := range args {
+		switch a {
+		case "-flags", "--flags", "-V=full", "--V=full":
+			return true
+		}
+	}
+	return false
+}
+
+func standalone(progname string, args []string) int {
+	selected, patterns := unitchecker.SelectByFlags(analyzers, args)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := load.New(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			exit = 2
+			continue
+		}
+		for _, a := range selected {
+			diags, err := analysis.RunAnalyzer(a, loader.Fset(), pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				exit = 2
+				continue
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s [%s]\n", loader.Fset().Position(d.Pos), d.Message, a.Name)
+				if exit == 0 {
+					exit = 1
+				}
+			}
+		}
+	}
+	return exit
+}

@@ -1,0 +1,14 @@
+package detfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detfree"
+)
+
+func TestDetfree(t *testing.T) {
+	// harness is on the determinism boundary; free is not and must
+	// produce zero diagnostics for the same calls.
+	analysistest.Run(t, "../testdata/src", detfree.Analyzer, "harness", "free")
+}

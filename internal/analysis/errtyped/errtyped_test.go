@@ -1,0 +1,12 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errtyped"
+)
+
+func TestErrtyped(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", errtyped.Analyzer, "errtyped")
+}

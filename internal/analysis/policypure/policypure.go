@@ -1,0 +1,274 @@
+// Package policypure enforces the admission-policy purity contract of
+// DESIGN.md §10: a multitree.Policy's Admit method sees a read-only
+// snapshot and must be a pure function of it. The simulator re-invokes
+// Admit only when the queue grows or memory frees (admitDirty), and the
+// serial-vs-parallel goldens compare traces byte for byte — a policy
+// that writes through its *State parameter invalidates both.
+//
+// Within any method Admit(st *multitree.State), the analyzer flags
+//
+//   - stores through st: field writes (st.FreeMem = 0), element writes
+//     (st.Queue[i].Peak = 0), writes through pointers derived from st
+//     (q := &st.Queue[i]; q.Peak = 0), and ++/--;
+//   - escapes of st or of state-derived references (pointers, or the
+//     snapshot's shared slices) into calls, where mutation can no
+//     longer be seen locally: helper(st), helper(&st.Queue[i]),
+//     append(st.Queue, x), copy/clear/delete on state-backed storage,
+//     and method calls on state-derived receivers.
+//
+// Value copies are always fine: q := st.Queue[i] detaches q from the
+// snapshot. A call that provably only reads can be suppressed with
+// //lint:ignore policypure <reason>.
+package policypure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the policypure analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "policypure",
+	Doc:  "check that multitree.Policy.Admit implementations do not mutate or escape their *State snapshot",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || fn.Name.Name != "Admit" {
+				continue
+			}
+			st := admitStateParam(pass, fn)
+			if st == nil {
+				continue
+			}
+			checkAdmit(pass, fn, st)
+		}
+	}
+	return nil
+}
+
+// admitStateParam returns the object of the single *multitree.State
+// parameter of an Admit method, or nil if fn is not a Policy.Admit
+// implementation.
+func admitStateParam(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return nil
+	}
+	name := params.List[0].Names[0]
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return nil
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() != "State" || tn.Pkg() == nil || tn.Pkg().Name() != "multitree" {
+		return nil
+	}
+	return obj
+}
+
+// checker tracks, within one Admit body, the set of local objects that
+// alias state owned by the *State snapshot.
+type checker struct {
+	pass    *analysis.Pass
+	derived map[types.Object]bool
+}
+
+func checkAdmit(pass *analysis.Pass, fn *ast.FuncDecl, st types.Object) {
+	c := &checker{pass: pass, derived: map[types.Object]bool{st: true}}
+
+	// Pass 1: propagate derivedness through local assignments until
+	// stable, so q := &st.Queue[i]; r := q marks both q and r.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !c.derivedExpr(assign.Rhs[i]) {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !c.derived[obj] {
+					c.derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report mutations and escapes.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, bare := lhs.(*ast.Ident); bare {
+					continue // rebinding a local never mutates the snapshot
+				}
+				if c.rootDerived(lhs) {
+					c.pass.Reportf(lhs.Pos(), "Admit writes through its *State snapshot (%s); policies must be pure functions of State", render(lhs))
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, bare := n.X.(*ast.Ident); !bare && c.rootDerived(n.X) {
+				c.pass.Reportf(n.X.Pos(), "Admit writes through its *State snapshot (%s); policies must be pure functions of State", render(n.X))
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkCall flags calls that let snapshot-owned state escape to code
+// the analyzer cannot see.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch c.builtinName(fun) {
+		case "len", "cap", "min", "max": // pure readers
+			return
+		case "append", "copy", "clear", "delete":
+			if len(call.Args) > 0 && c.derivedExpr(call.Args[0]) {
+				c.pass.Reportf(call.Pos(), "Admit mutates snapshot-backed storage via %s(%s, ...)", fun.Name, render(call.Args[0]))
+			}
+			// remaining args are read-only for these builtins
+			return
+		}
+	case *ast.SelectorExpr:
+		// Method call: a state-rooted receiver hands the callee
+		// (potentially mutable — pointer receivers auto-address)
+		// access to the snapshot.
+		if c.pass.TypesInfo.Selections[fun] != nil && c.rootDerived(fun.X) {
+			c.pass.Reportf(call.Pos(), "Admit calls a method on snapshot-backed state (%s); the callee may mutate it", render(fun.X))
+		}
+	}
+	for _, arg := range call.Args {
+		if c.derivedExpr(arg) {
+			c.pass.Reportf(arg.Pos(), "Admit escapes snapshot-backed state to a call (%s); pass a value copy instead", render(arg))
+		}
+	}
+}
+
+func (c *checker) builtinName(id *ast.Ident) string {
+	if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return obj.Name()
+	}
+	return ""
+}
+
+// rootDerived reports whether the base identifier under a chain of
+// selectors/indexes/derefs/slices is a state-derived object.
+func (c *checker) rootDerived(e ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[v]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[v]
+			}
+			return obj != nil && c.derived[obj]
+		case *ast.SelectorExpr:
+			// A selector through a package name or an interface method
+			// value has no base variable; Selections distinguishes.
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// derivedExpr reports whether evaluating e yields a value that still
+// aliases snapshot-owned storage: the *State itself, an address rooted
+// in it, or a reference-typed projection (slice, map, pointer, chan)
+// of it. Scalar and struct projections are value copies and are free.
+func (c *checker) derivedExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[v]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[v]
+		}
+		return obj != nil && c.derived[obj]
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return c.rootDerived(v.X)
+		}
+		return false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+		if !c.rootDerived(e) {
+			return false
+		}
+		return isRefType(c.pass.TypesInfo.TypeOf(e))
+	default:
+		return false
+	}
+}
+
+// isRefType reports whether values of t share underlying storage with
+// their source (so a copy is still an alias).
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// render prints a compact source-ish form of an expression for
+// diagnostics.
+func render(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return render(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return render(v.X) + "[...]"
+	case *ast.SliceExpr:
+		return render(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return "&" + render(v.X)
+		}
+	case *ast.CallExpr:
+		return render(v.Fun) + "(...)"
+	}
+	return "expression"
+}

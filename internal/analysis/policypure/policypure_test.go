@@ -1,0 +1,12 @@
+package policypure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/policypure"
+)
+
+func TestPolicypure(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", policypure.Analyzer, "policypure")
+}

@@ -1,0 +1,352 @@
+// Package poollife enforces the MemBookingPool lifecycle contract of
+// DESIGN.md §10: a *core.MemBooking obtained from MemBookingPool.Get is
+// dead the moment it is passed to Put — the pool will Rebind it at the
+// next Get, so a retained reference silently aliases another job's
+// scheduler state (childSum, bbs, the event heap) and corrupts both.
+//
+// The check is flow-sensitive within one function: it tracks local
+// variables bound directly to a pool Get result and reports
+//
+//   - any use of such a variable after it was passed to Put, and
+//   - a second Put of the same variable.
+//
+// Re-assigning the variable (a fresh Get, or sched = nil) revives or
+// releases it. Branches merge conservatively — a Put on either arm of
+// an if kills the variable afterwards — and loop bodies are traversed
+// twice so a Put at the bottom of an iteration poisons a use at the
+// top of the next. Values stored into fields or passed across function
+// boundaries are out of scope (the arena oracle tests cover those
+// dynamically).
+package poollife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poollife analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollife",
+	Doc:  "check that core.MemBookingPool.Get results are not used after Put and not Put twice",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c := &checker{pass: pass, state: map[types.Object]*varState{}}
+				c.stmts(fn.Body.List)
+			}
+		}
+	}
+	return nil
+}
+
+// varState is the lifecycle of one tracked booking variable.
+type varState struct {
+	putAt token.Pos // position of the Put that killed it; NoPos = live
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	state map[types.Object]*varState
+}
+
+// poolMethod reports whether call is pool.<name> on a
+// core.MemBookingPool receiver.
+func (c *checker) poolMethod(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s := c.pass.TypesInfo.Selections[sel]
+	if s == nil {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "MemBookingPool" && tn.Pkg() != nil && tn.Pkg().Name() == "core"
+}
+
+func (c *checker) obj(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// stmts walks a statement list in order, threading lifecycle state.
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.expr(rhs)
+		}
+		// x, err := pool.Get(...) binds x to a fresh booking; any other
+		// assignment to a tracked bare ident releases it from tracking
+		// (the canonical pool.Put(j.sched); j.sched = nil idiom ends
+		// with an untracked variable, which is the point).
+		fresh := false
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && c.poolMethod(call, "Get") {
+				fresh = true
+			}
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				c.expr(lhs) // index/selector stores evaluate their base
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			obj := c.obj(id)
+			if obj == nil {
+				continue
+			}
+			if fresh && i == 0 {
+				c.state[obj] = &varState{}
+			} else {
+				delete(c.state, obj)
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		then := c.fork()
+		then.stmts(s.Body.List)
+		elseC := c.fork()
+		if s.Else != nil {
+			elseC.stmt(s.Else)
+		}
+		c.merge(then, elseC)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		// Two traversals: the second sees the state a next iteration
+		// would inherit, catching put-then-reuse across the back edge.
+		for range 2 {
+			if s.Cond != nil {
+				c.expr(s.Cond)
+			}
+			c.stmts(s.Body.List)
+			if s.Post != nil {
+				c.stmt(s.Post)
+			}
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		for range 2 {
+			c.stmts(s.Body.List)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		c.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmt(s.Assign)
+		c.caseBodies(s.Body)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r)
+		}
+	case *ast.DeferStmt:
+		// defer pool.Put(s) runs at function exit, so it must not kill s
+		// for the statements that follow. It still counts as a Put for
+		// double-Put purposes if s is already dead here.
+		if c.poolMethod(s.Call, "Put") && len(s.Call.Args) == 1 {
+			if id, ok := ast.Unparen(s.Call.Args[0]).(*ast.Ident); ok {
+				if obj := c.obj(id); obj != nil {
+					if st, tracked := c.state[obj]; tracked {
+						if st.putAt != token.NoPos {
+							c.pass.Reportf(s.Call.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", id.Name, c.pass.Fset.Position(st.putAt))
+						}
+						return
+					}
+				}
+			}
+		}
+		c.expr(s.Call)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				arm := c.fork()
+				if comm.Comm != nil {
+					arm.stmt(comm.Comm)
+				}
+				arm.stmts(comm.Body)
+				c.merge(arm, c.fork())
+			}
+		}
+	}
+}
+
+func (c *checker) caseBodies(body *ast.BlockStmt) {
+	arms := make([]*checker, 0, len(body.List))
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				c.expr(e)
+			}
+			arm := c.fork()
+			arm.stmts(cc.Body)
+			arms = append(arms, arm)
+		}
+	}
+	for _, arm := range arms {
+		c.merge(arm, c.fork())
+	}
+}
+
+// fork clones the lifecycle state for one control-flow arm.
+func (c *checker) fork() *checker {
+	clone := &checker{pass: c.pass, state: make(map[types.Object]*varState, len(c.state))}
+	for k, v := range c.state {
+		vv := *v
+		clone.state[k] = &vv
+	}
+	return clone
+}
+
+// merge folds two arms back: a variable is dead after the merge if
+// either arm killed it (conservative), and untracked if either arm
+// released it.
+func (c *checker) merge(a, b *checker) {
+	for obj, st := range c.state {
+		sa, okA := a.state[obj]
+		sb, okB := b.state[obj]
+		if !okA || !okB {
+			delete(c.state, obj)
+			continue
+		}
+		if sa.putAt != token.NoPos {
+			st.putAt = sa.putAt
+		} else if sb.putAt != token.NoPos {
+			st.putAt = sb.putAt
+		}
+	}
+	// Variables first tracked inside an arm (x := pool.Get in a branch)
+	// stay tracked only for that arm's scope; nothing to hoist.
+}
+
+// expr walks an expression, reporting uses of dead variables and
+// applying Put transitions.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if c.poolMethod(e, "Put") && len(e.Args) == 1 {
+			if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok {
+				if obj := c.obj(id); obj != nil {
+					if st, tracked := c.state[obj]; tracked {
+						if st.putAt != token.NoPos {
+							c.pass.Reportf(e.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", id.Name, c.pass.Fset.Position(st.putAt))
+						}
+						st.putAt = e.Pos()
+						return
+					}
+				}
+			}
+		}
+		c.expr(e.Fun)
+		for _, a := range e.Args {
+			c.expr(a)
+		}
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return
+		}
+		if st, tracked := c.state[obj]; tracked && st.putAt != token.NoPos {
+			c.pass.Reportf(e.Pos(), "%s used after Put (at %s); the pool may have rebound it to another job", e.Name, c.pass.Fset.Position(st.putAt))
+			st.putAt = token.NoPos // one report per kill, not per use
+		}
+	case *ast.SelectorExpr:
+		c.expr(e.X)
+	case *ast.IndexExpr:
+		c.expr(e.X)
+		c.expr(e.Index)
+	case *ast.SliceExpr:
+		c.expr(e.X)
+		c.expr(e.Low)
+		c.expr(e.High)
+		c.expr(e.Max)
+	case *ast.StarExpr:
+		c.expr(e.X)
+	case *ast.UnaryExpr:
+		c.expr(e.X)
+	case *ast.BinaryExpr:
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.ParenExpr:
+		c.expr(e.X)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		c.expr(e.Value)
+	case *ast.FuncLit:
+		// Closure bodies run with the state at the point of the
+		// literal; uses inside count as uses here.
+		c.stmts(e.Body.List)
+	}
+}

@@ -1,0 +1,71 @@
+// Fixtures for the errtyped analyzer: brittle error handling that
+// breaks under %w wrapping (positives) next to the errors.Is/errors.As
+// idioms the repo requires (negatives).
+package errtyped
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"core"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func compare(err error) bool {
+	if err == errSentinel { // want `errors compared with ==`
+		return true
+	}
+	if err != errSentinel { // want `errors compared with !=`
+		return false
+	}
+	return errors.Is(err, errSentinel) // the wrap-aware form
+}
+
+func nilChecks(err error) bool {
+	return err == nil || err != nil // nil checks are fine
+}
+
+func assert(err error) int {
+	if d, ok := err.(*core.ErrDeadlock); ok { // want `type assertion on an error`
+		return d.Finished
+	}
+	var d *core.ErrDeadlock
+	if errors.As(err, &d) { // the wrap-aware form
+		return d.Finished
+	}
+	return -1
+}
+
+func typeSwitch(err error) string {
+	switch err.(type) {
+	case *core.ErrDeadlock: // want `type switch on an error`
+		return "deadlock"
+	default:
+		return "other"
+	}
+}
+
+func textMatch(err error) bool {
+	if strings.Contains(err.Error(), "deadlock") { // want `error text is not an API`
+		return true
+	}
+	return err.Error() == "deadlock" // want `comparing err\.Error\(\) text`
+}
+
+func makeDeadlock(finished, total int) error {
+	return errors.New("scheduler deadlock") // want `deadlock error built with errors\.New`
+}
+
+func wrapDeadlockBadly(err error) error {
+	return fmt.Errorf("run aborted: deadlock after retries: %v", err) // want `fmt\.Errorf without %w`
+}
+
+func wrapDeadlockWell(err error) error {
+	return fmt.Errorf("run aborted: %w", err) // %w keeps errors.As working
+}
+
+func construct(finished, total int) error {
+	return &core.ErrDeadlock{Scheduler: "easy", Finished: finished, Total: total}
+}

@@ -1,0 +1,14 @@
+// Package free is NOT on the determinism boundary: the same calls that
+// detfree flags in a boundary package are allowed here (the live
+// layers — executor, service, moldable — measure wall-clock time on
+// purpose).
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() time.Time { return time.Now() }
+
+func Draw() int { return rand.Intn(10) }

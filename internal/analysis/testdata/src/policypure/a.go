@@ -1,0 +1,73 @@
+// Fixtures for the policypure analyzer: Admit implementations that
+// read the snapshot (negative cases, no annotations) and ones that
+// mutate or escape it (positive cases, // want annotations).
+package policypure
+
+import "multitree"
+
+// Greedy is a pure policy: value copies, fresh output, no writes.
+type Greedy struct{ Factor float64 }
+
+func (Greedy) Name() string { return "greedy" }
+
+func (g Greedy) Admit(st *multitree.State) []multitree.Admission {
+	var out []multitree.Admission
+	free := st.FreeMem
+	for i := range st.Queue {
+		q := st.Queue[i] // value copy detaches from the snapshot
+		if q.Peak > free {
+			break
+		}
+		s := sized(q, g.Factor, free)
+		out = append(out, multitree.Admission{Queue: i, Slice: s})
+		free -= s
+	}
+	if len(st.Queue) > cap(out) {
+		_ = st.Releases[0].At // reads are free
+	}
+	return out
+}
+
+func sized(q multitree.QueuedJob, factor, free float64) float64 {
+	s := q.Peak * factor
+	if s > free {
+		s = free
+	}
+	if s < q.Peak {
+		s = q.Peak
+	}
+	return s
+}
+
+// Mutator violates the contract in every way the analyzer covers.
+type Mutator struct{}
+
+func (Mutator) Name() string { return "mut" }
+
+func (Mutator) Admit(st *multitree.State) []multitree.Admission {
+	st.FreeMem = 0       // want `writes through its \*State snapshot`
+	st.Queue[0].Peak = 1 // want `writes through its \*State snapshot`
+	st.Now++             // want `writes through its \*State snapshot`
+	q := &st.Queue[0]
+	q.Peak = 2                                         // want `writes through its \*State snapshot`
+	inspect(st)                                        // want `escapes snapshot-backed state to a call`
+	touch(q)                                           // want `escapes snapshot-backed state to a call`
+	st.Queue[0].Bump()                                 // want `calls a method on snapshot-backed state`
+	st.Queue = append(st.Queue, multitree.QueuedJob{}) // want `writes through its \*State snapshot` `mutates snapshot-backed storage via append`
+	return nil
+}
+
+// Sneaky shows the suppression escape hatch: the directive must name
+// the analyzer and give a reason, and covers the next line.
+type Sneaky struct{}
+
+func (Sneaky) Name() string { return "sneaky" }
+
+func (Sneaky) Admit(st *multitree.State) []multitree.Admission {
+	//lint:ignore policypure inspect provably only reads the snapshot
+	inspect(st)
+	return nil
+}
+
+func inspect(st *multitree.State)  { _ = st.FreeMem }
+func touch(q *multitree.QueuedJob) { q.Peak = 0 }

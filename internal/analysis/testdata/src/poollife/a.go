@@ -1,0 +1,90 @@
+// Fixtures for the poollife analyzer: MemBookingPool.Get/Put lifecycle
+// violations (use-after-Put, double-Put) and the patterns the repo
+// actually uses (Put then re-Get, Put then nil-out, branch-balanced
+// ownership).
+package poollife
+
+import "core"
+
+func ok(p *core.MemBookingPool, t *core.Tree) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	v := s.BookedMemory()
+	p.Put(s)
+	return v
+}
+
+func useAfterPut(p *core.MemBookingPool, t *core.Tree) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	p.Put(s)
+	return s.BookedMemory() // want `used after Put`
+}
+
+func doublePut(p *core.MemBookingPool, t *core.Tree) {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return
+	}
+	p.Put(s)
+	p.Put(s) // want `Put twice`
+}
+
+func regetRevives(p *core.MemBookingPool, t *core.Tree) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	p.Put(s)
+	s, err = p.Get(t, 200) // rebinding revives the variable
+	if err != nil {
+		return 0
+	}
+	defer p.Put(s)
+	return s.BookedMemory()
+}
+
+func branchPut(p *core.MemBookingPool, t *core.Tree, drop bool) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	if drop {
+		p.Put(s)
+	}
+	return s.BookedMemory() // want `used after Put`
+}
+
+func loopPut(p *core.MemBookingPool, t *core.Tree, n int) {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.Put(s) // want `Put twice`
+	}
+}
+
+func loopFresh(p *core.MemBookingPool, t *core.Tree, n int) {
+	for i := 0; i < n; i++ {
+		s, err := p.Get(t, float64(i))
+		if err != nil {
+			return
+		}
+		p.Put(s) // fresh Get each iteration: fine
+	}
+}
+
+func nilAfterPut(p *core.MemBookingPool, t *core.Tree) {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return
+	}
+	p.Put(s)
+	s = nil // overwriting the variable ends tracking
+	_ = s
+}

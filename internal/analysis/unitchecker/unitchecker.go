@@ -1,0 +1,314 @@
+// Package unitchecker speaks the `go vet -vettool` command-line
+// protocol on the standard library only, so cmd/treeschedlint can run
+// as a drop-in vet tool:
+//
+//	-flags      describe flags in JSON              (queried by go vet)
+//	-V=full     describe the executable for caching (queried by go vet)
+//	foo.cfg     analyze one compilation unit described by a JSON config
+//
+// The config file (written by cmd/go next to each package's build
+// actions) names the unit's Go files and maps its imports to compiler
+// export-data files; the checker parses the files, typechecks them
+// with go/importer's gc importer reading that export data, runs the
+// analyzers, prints file:line:col diagnostics to stderr, writes the
+// (empty — the suite is fact-free) .vetx facts output the build system
+// expects, and exits nonzero iff it found something.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON compilation-unit description written by cmd/go.
+// Field names and semantics follow the vet action protocol; fields the
+// checker does not need are accepted and ignored by the decoder.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonFlag is the flag-description shape `go vet` expects from -flags.
+type jsonFlag struct {
+	Name  string `json:"Name"`
+	Bool  bool   `json:"Bool"`
+	Usage string `json:"Usage"`
+}
+
+// Main implements the vet tool protocol for the given analyzers. It
+// handles -flags / -V=full / *.cfg and exits; it only returns (with an
+// error) on usage mistakes.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer) error {
+	enabled := map[string]bool{}
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; {
+		case arg == "-flags" || arg == "--flags":
+			var fl []jsonFlag
+			for _, a := range analyzers {
+				fl = append(fl, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+			}
+			out, err := json.Marshal(fl)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			os.Exit(0)
+		case arg == "-V=full" || arg == "--V=full":
+			// The build system hashes this line to decide whether a
+			// cached vet result is still valid, so it must change
+			// whenever the binary does: hash the executable.
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			f, err := os.Open(exe)
+			if err != nil {
+				return err
+			}
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Printf("%s version devel treeschedlint buildID=%x\n", progname, h.Sum(nil))
+			os.Exit(0)
+		case flagSelects(arg, analyzers, enabled):
+			// analyzer enable/disable flag consumed
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	if len(rest) != 1 || !isCfg(rest[0]) {
+		return fmt.Errorf("usage: %s [-flags | -V=full | [-<analyzer>=bool]... unit.cfg | [-<analyzer>=bool]... ./...]", progname)
+	}
+	analyzers = selectAnalyzers(analyzers, enabled)
+	exit, err := runCfg(rest[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(exit)
+	return nil
+}
+
+// IsCfgArgs reports whether the argument list is a single *.cfg file —
+// the shape of a `go vet` invocation, as opposed to standalone package
+// patterns.
+func IsCfgArgs(args []string) bool {
+	for _, a := range args {
+		if isCfg(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCfg(arg string) bool {
+	return len(arg) > 4 && arg[len(arg)-4:] == ".cfg"
+}
+
+// flagSelects consumes -<name>, -<name>=true or -<name>=false for a
+// known analyzer, recording the selection.
+func flagSelects(arg string, analyzers []*analysis.Analyzer, enabled map[string]bool) bool {
+	if len(arg) < 2 || arg[0] != '-' {
+		return false
+	}
+	body := arg[1:]
+	if body[0] == '-' {
+		body = body[1:]
+	}
+	val := true
+	if i := indexByte(body, '='); i >= 0 {
+		switch body[i+1:] {
+		case "true", "1":
+			val = true
+		case "false", "0":
+			val = false
+		default:
+			return false
+		}
+		body = body[:i]
+	}
+	for _, a := range analyzers {
+		if a.Name == body {
+			enabled[body] = val
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// SelectAnalyzers filters by explicit -name flags: if any analyzer was
+// explicitly enabled, only those run; otherwise all run minus the
+// explicitly disabled.
+func selectAnalyzers(all []*analysis.Analyzer, enabled map[string]bool) []*analysis.Analyzer {
+	anyOn := false
+	for _, v := range enabled {
+		if v {
+			anyOn = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if v, explicit := enabled[a.Name]; explicit {
+			if v {
+				out = append(out, a)
+			}
+		} else if !anyOn {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SelectByFlags exposes the flag selection for the standalone driver.
+func SelectByFlags(all []*analysis.Analyzer, args []string) (selected []*analysis.Analyzer, rest []string) {
+	enabled := map[string]bool{}
+	for _, arg := range args {
+		if !flagSelects(arg, all, enabled) {
+			rest = append(rest, arg)
+		}
+	}
+	return selectAnalyzers(all, enabled), rest
+}
+
+// runCfg analyzes the compilation unit described by a cfg file and
+// returns the process exit code.
+func runCfg(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 1, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 1, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The suite carries no cross-package facts, but the build system
+	// expects the facts output to exist for caching; write it first so
+	// even a VetxOnly dependency visit succeeds.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 1, fmt.Errorf("failed to write facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil // the compiler will report it
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+			exit = 1
+		}
+	}
+	return exit, nil
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -45,7 +46,8 @@ func ablationStudy(cfg *Config) (*Table, error) {
 				s.SetRecomputeBBS(v.recompute)
 				res, err := sim.Run(pr.inst.Tree, p, s, cfg.simOpts(m, true))
 				if err != nil {
-					if _, dead := err.(*sim.ErrDeadlock); dead {
+					var dead *sim.ErrDeadlock
+					if errors.As(err, &dead) {
 						continue
 					}
 					return nil, fmt.Errorf("ablation %s on %s: %w", v.name, pr.inst.Name, err)

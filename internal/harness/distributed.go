@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/distributed"
@@ -36,7 +37,8 @@ func distStudy(cfg *Config) (*Table, error) {
 				mapping := distributed.ProportionalMapping(pr.inst.Tree, nd)
 				res, err := distributed.Run(pr.inst.Tree, plat, mapping, pr.ao, pr.ao)
 				if err != nil {
-					if _, dead := err.(*distributed.ErrDeadlock); dead {
+					var dead *distributed.ErrDeadlock
+					if errors.As(err, &dead) {
 						continue
 					}
 					return nil, fmt.Errorf("dist on %s: %w", pr.inst.Name, err)

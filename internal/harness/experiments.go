@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -499,7 +500,8 @@ func memProfile(cfg *Config) (*Table, error) {
 			}
 		}
 		if err != nil {
-			if _, dead := err.(*sim.ErrDeadlock); !dead {
+			var dead *sim.ErrDeadlock
+			if !errors.As(err, &dead) {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -393,7 +394,8 @@ func (e *Engine) evalGroup(g *group, r *sim.Runner) {
 		}
 		res, err := r.Run(run, g.procs, s, &opts)
 		if err != nil {
-			if _, dead := err.(*sim.ErrDeadlock); dead {
+			var dead *sim.ErrDeadlock
+			if errors.As(err, &dead) {
 				j.entry.out = outcome{ok: false}
 			} else {
 				j.entry.err = err

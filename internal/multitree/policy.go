@@ -124,8 +124,10 @@ type Policy interface {
 
 // grant sizes a slice for q: factor × peak, at least the peak, shrunk
 // to the free pool when the stretched slice does not fit (never below
-// the peak — the caller only asks when peak ≤ free).
-func grant(q *QueuedJob, factor, free float64) float64 {
+// the peak — the caller only asks when peak ≤ free). q is a value
+// copy: policies must not hand pointers into the State snapshot to
+// helpers (the policypure analyzer enforces it).
+func grant(q QueuedJob, factor, free float64) float64 {
 	s := q.Peak
 	if factor > 1 {
 		s = factor * q.Peak
@@ -156,7 +158,7 @@ func (f FCFS) Admit(st *State) []Admission {
 	var out []Admission
 	free := st.FreeMem
 	for i := range st.Queue {
-		q := &st.Queue[i]
+		q := st.Queue[i]
 		if q.Peak > free {
 			break
 		}
@@ -199,7 +201,7 @@ func (s SBF) Admit(st *State) []Admission {
 		if best < 0 {
 			return out
 		}
-		g := grant(&st.Queue[best], s.SliceFactor, free)
+		g := grant(st.Queue[best], s.SliceFactor, free)
 		out = append(out, Admission{Queue: best, Slice: g})
 		free -= g
 		taken[best] = true
@@ -229,7 +231,7 @@ func (f FairShare) Admit(st *State) []Admission {
 	var out []Admission
 	free := st.FreeMem
 	for i := range st.Queue {
-		q := &st.Queue[i]
+		q := st.Queue[i]
 		if q.Peak > free {
 			break
 		}
@@ -273,7 +275,7 @@ func (e EASY) Admit(st *State) []Admission {
 	// Admit from the head while it fits (FCFS fast path).
 	next := 0
 	for next < len(st.Queue) && st.Queue[next].Peak <= free {
-		s := grant(&st.Queue[next], e.SliceFactor, free)
+		s := grant(st.Queue[next], e.SliceFactor, free)
 		out = append(out, Admission{Queue: next, Slice: s})
 		free -= s
 		next++
@@ -281,7 +283,7 @@ func (e EASY) Admit(st *State) []Admission {
 	if next >= len(st.Queue) || len(st.Active)+len(out) == 0 {
 		return out
 	}
-	head := &st.Queue[next]
+	head := st.Queue[next]
 
 	// Shadow time: walk active jobs by estimated end — st.Releases is
 	// already in that order — accumulating the slices they return, until
@@ -304,7 +306,7 @@ func (e EASY) Admit(st *State) []Admission {
 
 	// Backfill: later jobs, arrival order, minimal slices.
 	for i := next + 1; i < len(st.Queue); i++ {
-		q := &st.Queue[i]
+		q := st.Queue[i]
 		if q.Peak > free {
 			continue
 		}

@@ -24,7 +24,7 @@ func MinimumDegree(p *Pattern) []int32 {
 		}
 	}
 	for i := range adj {
-		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a] < adj[i][b] })
+		sort.SliceStable(adj[i], func(a, b int) bool { return adj[i][a] < adj[i][b] })
 	}
 
 	eliminated := make([]bool, n)

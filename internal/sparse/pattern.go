@@ -61,7 +61,7 @@ func NewPattern(n int, edges [][2]int32) (*Pattern, error) {
 		}
 		norm = append(norm, [2]int32{a, b}) // a > b: row a, col b
 	}
-	sort.Slice(norm, func(i, j int) bool {
+	sort.SliceStable(norm, func(i, j int) bool {
 		if norm[i][0] != norm[j][0] {
 			return norm[i][0] < norm[j][0]
 		}

@@ -49,7 +49,9 @@ func ReverseCuthillMcKee(p *Pattern) []int32 {
 			queue = queue[1:]
 			order = append(order, v)
 			nbrs := append([]int32(nil), neighbours(v)...)
-			sort.Slice(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
+			// Stable: equal-degree neighbours keep adjacency order, so
+			// the ordering is a pure function of the pattern.
+			sort.SliceStable(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
 			for _, u := range nbrs {
 				if !visited[u] {
 					visited[u] = true

@@ -85,9 +85,13 @@ func (r *Recorder) Select(free int) []tree.NodeID {
 	return out
 }
 
-// Spans returns the recorded executions sorted by start time.
+// Spans returns the recorded executions sorted by start time, node ID
+// breaking ties. A node can execute more than once (checkpoint/restart
+// re-runs it), so (Start, Node) is not a total key; the stable sort
+// keeps equal spans in recording order and the output byte-identical
+// across runs.
 func (r *Recorder) Spans() []Span {
-	sort.Slice(r.spans, func(a, b int) bool {
+	sort.SliceStable(r.spans, func(a, b int) bool {
 		if r.spans[a].Start != r.spans[b].Start {
 			return r.spans[a].Start < r.spans[b].Start
 		}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build the treeschedlint vet tool and run it over the whole module via
+# `go vet -vettool`, so findings come out in vet's incremental,
+# per-package form. CI caches bin/ keyed on the analyzer sources; the
+# freshness check below makes a warm cache skip the rebuild locally too.
+#
+# Usage: scripts/lint.sh [packages...]   (defaults to ./...)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOOL=bin/treeschedlint
+
+rebuild=1
+if [ -x "$TOOL" ]; then
+	if [ -z "$(find cmd/treeschedlint internal/analysis go.mod -name '*.go' -newer "$TOOL" -print -quit 2>/dev/null)" ]; then
+		rebuild=0
+	fi
+fi
+if [ "$rebuild" = 1 ]; then
+	echo "lint.sh: building $TOOL"
+	mkdir -p bin
+	go build -o "$TOOL" ./cmd/treeschedlint
+fi
+
+exec go vet -vettool="$(pwd)/$TOOL" "${@:-./...}"

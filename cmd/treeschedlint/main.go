@@ -1,6 +1,7 @@
 // Command treeschedlint is the repo's contract checker: a vet-style
-// multichecker bundling the four analyzers of internal/analysis
-// (policypure, detfree, poollife, errtyped). It runs two ways:
+// multichecker bundling the analyzers of internal/analysis
+// (policypure, detfree, poollife, errtyped, hotalloc, locksafe,
+// goroleak). It runs two ways:
 //
 // As a vet tool — the mode CI uses (scripts/lint.sh):
 //
@@ -18,8 +19,12 @@
 // Standalone mode loads packages from source (no build step needed).
 // In both modes -<analyzer>[=false] selects a subset, diagnostics are
 // printed as file:line:col: message [analyzer], and the exit status is
-// nonzero iff diagnostics were reported. A finding that is a proven
-// false positive can be suppressed at the site with
+// nonzero iff diagnostics were reported. Standalone mode also takes
+// -json, which emits one JSON object per finding (analyzer, pos,
+// message, suppressed) on stdout — suppressed findings included, for
+// auditability — with exit status keyed to unsuppressed findings only.
+// A finding that is a proven false positive can be suppressed at the
+// site with
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -27,14 +32,19 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/detfree"
+	"repro/internal/analysis/driver"
 	"repro/internal/analysis/errtyped"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/policypure"
 	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/unitchecker"
@@ -45,6 +55,9 @@ var analyzers = []*analysis.Analyzer{
 	detfree.Analyzer,
 	poollife.Analyzer,
 	errtyped.Analyzer,
+	hotalloc.Analyzer,
+	locksafe.Analyzer,
+	goroleak.Analyzer,
 }
 
 func main() {
@@ -74,8 +87,26 @@ func hasProtocolFlag(args []string) bool {
 	return false
 }
 
+// jsonFinding is the -json output shape: one object per finding, one
+// finding per line (JSON Lines), suppressed findings included.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func standalone(progname string, args []string) int {
-	selected, patterns := unitchecker.SelectByFlags(analyzers, args)
+	jsonMode := false
+	var rest []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonMode = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	selected, patterns := unitchecker.SelectByFlags(analyzers, rest)
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -89,26 +120,30 @@ func standalone(progname string, args []string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 2
 	}
+	session := driver.New(loader, selected)
+	enc := json.NewEncoder(os.Stdout)
 	exit := 0
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
+		findings, err := session.Run(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			exit = 2
 			continue
 		}
-		for _, a := range selected {
-			diags, err := analysis.RunAnalyzer(a, loader.Fset(), pkg.Files, pkg.Types, pkg.Info)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
-				exit = 2
-				continue
+		for _, f := range findings {
+			pos := loader.Fset().Position(f.Diag.Pos).String()
+			if jsonMode {
+				enc.Encode(jsonFinding{
+					Analyzer:   f.Analyzer,
+					Pos:        pos,
+					Message:    f.Diag.Message,
+					Suppressed: f.Diag.Suppressed,
+				})
+			} else if !f.Diag.Suppressed {
+				fmt.Printf("%s: %s [%s]\n", pos, f.Diag.Message, f.Analyzer)
 			}
-			for _, d := range diags {
-				fmt.Printf("%s: %s [%s]\n", loader.Fset().Position(d.Pos), d.Message, a.Name)
-				if exit == 0 {
-					exit = 1
-				}
+			if !f.Diag.Suppressed && exit == 0 {
+				exit = 1
 			}
 		}
 	}

@@ -32,6 +32,14 @@ type Analyzer struct {
 	// Run applies the check to one package and reports diagnostics
 	// through pass.Report/Reportf.
 	Run func(pass *Pass) error
+	// FactTypes lists the fact types this analyzer exports or
+	// imports, one zero value per type. A non-empty list makes the
+	// drivers run the analyzer on dependency packages first (facts
+	// only, diagnostics discarded) and carry the exported facts to
+	// dependents — across build units via unitchecker's vetx files,
+	// in-process via a shared FactStore. Each listed type must be
+	// gob-encodable.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -44,8 +52,30 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	// Report publishes one diagnostic. Drivers install a hook that
-	// drops diagnostics suppressed by a //lint:ignore directive.
+	// marks diagnostics suppressed by a //lint:ignore directive.
 	Report func(Diagnostic)
+
+	facts *FactStore
+}
+
+// ExportObjectFact associates fact with obj for dependent packages to
+// import. obj must belong to the package under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.facts.put(p.Analyzer.Name, obj.Pkg().Path(), ObjectKey(obj), fact)
+}
+
+// ImportObjectFact copies the fact previously exported for obj (by
+// this analyzer, possibly in another package) into *fact and reports
+// whether one was found. fact must be a non-nil pointer of the
+// concrete fact type.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), ObjectKey(obj), fact)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -65,6 +95,11 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Suppressed marks a finding covered by a //lint:ignore
+	// directive. Drivers keep suppressed findings in the stream (the
+	// -json mode lists them for auditability) but must not print them
+	// as failures or let them affect the exit status.
+	Suppressed bool
 }
 
 // IgnoreDirective is the suppression marker the drivers honor:
@@ -123,11 +158,17 @@ func (s ignoreSet) suppressed(fset *token.FileSet, name string, pos token.Pos) b
 }
 
 // RunAnalyzer applies one analyzer to a typechecked package and returns
-// the surviving diagnostics in source order. It installs the Report
-// hook, filters //lint:ignore suppressions, and sorts by position, so
-// every driver (vet protocol, standalone, analysistest) reports the
-// same findings for the same input.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// its diagnostics in source order, //lint:ignore'd ones marked
+// Suppressed rather than dropped. It installs the Report hook and
+// sorts by position, so every driver (vet protocol, standalone,
+// analysistest) reports the same findings for the same input. store
+// carries cross-package facts between runs; nil is fine for analyzers
+// without FactTypes (an ephemeral store is created so Export/Import
+// still work within the package).
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	ignores := make(map[*token.File]ignoreSet)
 	for _, f := range files {
 		if tf := fset.File(f.Pos()); tf != nil {
@@ -141,9 +182,10 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		facts:     store,
 		Report: func(d Diagnostic) {
 			if set := ignores[fset.File(d.Pos)]; set.suppressed(fset, a.Name, d.Pos) {
-				return
+				d.Suppressed = true
 			}
 			diags = append(diags, d)
 		},

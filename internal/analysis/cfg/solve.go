@@ -1,0 +1,156 @@
+package cfg
+
+// Direction selects which way a dataflow problem propagates.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along control-flow edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit against the edges.
+	Backward
+)
+
+// Problem is one dataflow problem over a Graph. F is the lattice
+// element type (a value type or a persistent map — Transfer and Merge
+// must not mutate their inputs).
+type Problem[F any] struct {
+	Dir Direction
+	// Boundary is the state at the boundary block (Entry for Forward,
+	// Exit for Backward).
+	Boundary F
+	// Bottom is the initial state of every other block: the identity
+	// of Merge (merging Bottom with x yields x).
+	Bottom F
+	// Transfer applies the effect of b's nodes to the incoming state
+	// and returns the outgoing state. It must be pure.
+	Transfer func(b *Block, in F) F
+	// Merge joins the states flowing in from two edges. It must be
+	// commutative, associative and monotone for the solve to
+	// terminate.
+	Merge func(a, b F) F
+	// Equal reports whether two states are equal (fixpoint test).
+	Equal func(a, b F) bool
+}
+
+// Solve iterates p to a fixpoint and returns each block's IN state
+// (the state at block entry for Forward problems, at block exit —
+// i.e. facing its successors — for Backward problems). The worklist
+// is seeded in reverse post-order (post-order for Backward) so the
+// common acyclic case converges in one sweep; iteration is capped to
+// guard against a non-monotone Problem.
+func Solve[F any](g *Graph, p Problem[F]) map[*Block]F {
+	order := postorder(g)
+	if p.Dir == Forward {
+		// reverse post-order
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Bottom
+		out[b] = p.Bottom
+	}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = p.Boundary
+
+	edgesIn := func(b *Block) []*Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+
+	inWork := make(map[*Block]bool, len(order))
+	work := make([]*Block, len(order))
+	copy(work, order)
+	for _, b := range work {
+		inWork[b] = true
+	}
+	// Cap: every block can be reprocessed a bounded number of times
+	// before we declare the lattice non-converging and stop (the
+	// states computed so far are a sound over-approximation only if
+	// Merge is a widening; for lint purposes a truncated solve just
+	// means fewer reports, never a crash).
+	budget := (len(g.Blocks) + 1) * 64
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		state := in[b]
+		if srcs := edgesIn(b); len(srcs) > 0 {
+			state = out[srcs[0]]
+			for _, s := range srcs[1:] {
+				state = p.Merge(state, out[s])
+			}
+			if b == boundary {
+				state = p.Merge(state, p.Boundary)
+			}
+			in[b] = state
+		}
+		newOut := p.Transfer(b, state)
+		if p.Equal(newOut, out[b]) {
+			continue
+		}
+		out[b] = newOut
+		var next []*Block
+		if p.Dir == Forward {
+			next = b.Succs
+		} else {
+			next = b.Preds
+		}
+		for _, s := range next {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// postorder returns the blocks in DFS post-order from Entry,
+// appending any blocks unreachable from Entry (detached dead code) at
+// the end so they still get solved once.
+func postorder(g *Graph) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	order := make([]*Block, 0, len(g.Blocks))
+	type frame struct {
+		b    *Block
+		succ int
+	}
+	var stack []frame
+	visit := func(root *Block) {
+		if seen[root.Index] {
+			return
+		}
+		seen[root.Index] = true
+		stack = append(stack[:0], frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.succ < len(f.b.Succs) {
+				s := f.b.Succs[f.succ]
+				f.succ++
+				if !seen[s.Index] {
+					seen[s.Index] = true
+					stack = append(stack, frame{s, 0})
+				}
+				continue
+			}
+			order = append(order, f.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	visit(g.Entry)
+	for _, b := range g.Blocks {
+		visit(b)
+	}
+	return order
+}

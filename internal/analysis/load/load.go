@@ -109,6 +109,14 @@ func (l *Loader) dirFor(importPath string) string {
 	return ""
 }
 
+// InTree reports whether importPath resolves to a source directory
+// under the loader's root (as opposed to the standard library). The
+// fact-aware drivers use it to decide which dependencies need their
+// own analysis pass before a dependent package runs.
+func (l *Loader) InTree(importPath string) bool {
+	return l.dirFor(importPath) != ""
+}
+
 // Import implements types.Importer, resolving the dependency graph of
 // packages under load.
 func (l *Loader) Import(importPath string) (*types.Package, error) {

@@ -1,0 +1,509 @@
+// Package locksafe flow-sensitively checks sync.Mutex and
+// sync.RWMutex discipline over the shared CFG/dataflow engine:
+//
+//   - a mutex locked on every path to a return must be unlocked or
+//     covered by a deferred Unlock; a mutex locked on only *some*
+//     paths to a return is reported as branch-dependent;
+//   - Lock while already write-held (self-deadlock), Lock while
+//     read-held (upgrade deadlock), RLock while write-held;
+//   - Unlock/RUnlock of a mutex that is not held;
+//   - defer mu.Unlock() inside a loop body (the unlock runs at
+//     function exit, not per iteration);
+//   - assignments and calls that copy a mutex value.
+//
+// Each function body (and each func literal, independently) is solved
+// to a fixpoint; merge points where one path holds the lock and the
+// other does not produce a "conflict" state that suppresses the
+// definite-misuse reports and surfaces only at returns. TryLock and
+// TryRLock results are path-conditions the analysis does not model:
+// they also put the mutex in the conflict state.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "check sync.Mutex/RWMutex lock-unlock discipline along every control-flow path",
+	Run:  run,
+}
+
+// A cell names one mutex: the root object plus the selector path
+// reaching it (s.mu from different call sites of one method share a
+// root object and therefore a cell).
+type cell struct {
+	obj  types.Object
+	path string
+}
+
+// mode is the lock state of one mutex on one path.
+type mode int
+
+const (
+	unlocked mode = iota
+	wlocked       // Lock held
+	rlocked       // RLock held (depth counts readers)
+	conflict      // differs between merged paths, or TryLock outcome
+)
+
+type lockInfo struct {
+	mode   mode
+	depth  int // reader depth while rlocked
+	lockAt token.Pos
+}
+
+// state maps each mutex seen so far to its lock state. nil is the
+// solver's bottom (unreached); an empty map is "no mutexes touched".
+type state map[cell]lockInfo
+
+func clone(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeStates(a, b state) state {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(state, len(a))
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			vb = lockInfo{mode: unlocked}
+		}
+		out[k] = mergeInfo(va, vb)
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = mergeInfo(lockInfo{mode: unlocked}, vb)
+		}
+	}
+	return out
+}
+
+func mergeInfo(a, b lockInfo) lockInfo {
+	if a.mode == b.mode && a.depth == b.depth {
+		if b.lockAt != token.NoPos && (a.lockAt == token.NoPos || b.lockAt < a.lockAt) {
+			a.lockAt = b.lockAt
+		}
+		return a
+	}
+	at := a.lockAt
+	if at == token.NoPos || (b.lockAt != token.NoPos && b.lockAt < at) {
+		at = b.lockAt
+	}
+	return lockInfo{mode: conflict, lockAt: at}
+}
+
+func equalStates(a, b state) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				c.checkFunc(n.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc solves one body to a fixpoint, then replays each block
+// from its solved entry state with reporting on.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Deferred unlocks cover held mutexes at exit. Lexical
+	// approximation: any defer of Unlock/RUnlock in the body counts,
+	// matching the mu.Lock(); defer mu.Unlock() idiom.
+	deferred := map[cell]bool{}
+	for _, d := range g.Defers {
+		if k, _, op, ok := c.lockOp(d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			deferred[k] = true
+		}
+	}
+
+	solved := cfg.Solve(g, cfg.Problem[state]{
+		Dir:      cfg.Forward,
+		Boundary: state{},
+		Bottom:   nil,
+		Transfer: func(b *cfg.Block, in state) state {
+			if in == nil {
+				return nil
+			}
+			st := clone(in)
+			for _, n := range b.Nodes {
+				st = c.node(g, n, st, deferred, false)
+			}
+			return st
+		},
+		Merge: mergeStates,
+		Equal: equalStates,
+	})
+
+	for _, b := range g.Blocks {
+		st := solved[b]
+		if st == nil {
+			continue
+		}
+		st = clone(st)
+		for _, n := range b.Nodes {
+			st = c.node(g, n, st, deferred, true)
+		}
+		// A function can fall off its end with a lock held: blocks
+		// that flow into Exit other than through a return (returns
+		// are checked at the ReturnStmt itself).
+		if exitsWithoutReturn(b, g) {
+			c.checkExit(st, deferred, body.End(), "function exit")
+		}
+	}
+}
+
+// exitsWithoutReturn reports whether b falls into Exit without ending
+// in a return statement.
+func exitsWithoutReturn(b *cfg.Block, g *cfg.Graph) bool {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if len(b.Nodes) == 0 {
+		return true
+	}
+	_, isReturn := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return !isReturn
+}
+
+// checkExit reports mutexes held (definitely or possibly) at an exit
+// point that no deferred unlock covers, in a deterministic order.
+func (c *checker) checkExit(st state, deferred map[cell]bool, pos token.Pos, what string) {
+	keys := make([]cell, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj.Pos() != keys[j].obj.Pos() {
+			return keys[i].obj.Pos() < keys[j].obj.Pos()
+		}
+		return keys[i].path < keys[j].path
+	})
+	for _, k := range keys {
+		if deferred[k] {
+			continue
+		}
+		name := renderCell(k)
+		switch st[k].mode {
+		case wlocked, rlocked:
+			c.pass.Reportf(pos, "%s with %s held (no deferred unlock)", what, name)
+		case conflict:
+			if st[k].lockAt != token.NoPos {
+				c.pass.Reportf(pos, "%s with %s possibly held (locked on some paths only)", what, name)
+			}
+		}
+	}
+}
+
+// renderCell renders a cell back to source-ish form ("s.mu").
+func renderCell(k cell) string {
+	return k.obj.Name() + k.path
+}
+
+// node applies one CFG node to the state; with report=true it also
+// emits diagnostics, replaying exactly the solver's transfer.
+func (c *checker) node(g *cfg.Graph, n ast.Node, st state, deferred map[cell]bool, report bool) state {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if _, name, op, ok := c.lockOp(n.Call); ok {
+			switch op {
+			case "Unlock", "RUnlock":
+				if report && g.DefersInLoop[n] {
+					c.pass.Reportf(n.Pos(), "defer %s.%s() in a loop runs only at function exit", name, op)
+				}
+			case "Lock", "RLock":
+				// defer mu.Lock() is almost certainly a typo'd
+				// unlock.
+				if report {
+					c.pass.Reportf(n.Pos(), "deferred %s.%s() acquires the lock at function exit", name, op)
+				}
+			}
+			return st
+		}
+		return c.scanExpr(n.Call, st, report)
+
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			st = c.scanExpr(r, st, report)
+		}
+		if report {
+			c.checkExit(st, deferred, n.Pos(), "return")
+		}
+		return st
+
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			st = c.scanExpr(rhs, st, report)
+			if report {
+				c.checkCopy(rhs)
+			}
+		}
+		return st
+
+	case ast.Expr:
+		return c.scanExpr(n, st, report)
+
+	case *ast.ExprStmt:
+		return c.scanExpr(n.X, st, report)
+
+	case *ast.GoStmt:
+		return c.scanExpr(n.Call, st, report)
+
+	case *ast.SendStmt:
+		st = c.scanExpr(n.Chan, st, report)
+		return c.scanExpr(n.Value, st, report)
+
+	case *ast.RangeStmt:
+		return c.scanExpr(n.X, st, report)
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.scanExpr(v, st, report)
+						if report {
+							c.checkCopy(v)
+						}
+					}
+				}
+			}
+		}
+		return st
+	}
+	return st
+}
+
+// scanExpr applies lock operations found in an expression tree in
+// source order. FuncLit bodies are fenced off — they are analyzed as
+// their own functions.
+func (c *checker) scanExpr(e ast.Expr, st state, report bool) state {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if k, name, op, ok := c.lockOp(call); ok {
+			st = c.apply(st, k, name, op, call.Pos(), report)
+			return false
+		}
+		if report {
+			for _, a := range call.Args {
+				c.checkCopyArg(a)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// apply transitions one mutex through one operation.
+func (c *checker) apply(st state, k cell, name, op string, pos token.Pos, report bool) state {
+	v := st[k]
+	switch op {
+	case "Lock":
+		switch v.mode {
+		case wlocked:
+			if report {
+				c.pass.Reportf(pos, "second Lock of %s; already held (possible deadlock)", name)
+			}
+		case rlocked:
+			if report {
+				c.pass.Reportf(pos, "Lock of %s while read-held (upgrade deadlock)", name)
+			}
+		}
+		st[k] = lockInfo{mode: wlocked, lockAt: pos}
+	case "Unlock":
+		if report && v.mode == unlocked {
+			c.pass.Reportf(pos, "Unlock of %s, which is not held", name)
+		}
+		st[k] = lockInfo{mode: unlocked}
+	case "RLock":
+		switch v.mode {
+		case wlocked:
+			if report {
+				c.pass.Reportf(pos, "RLock of %s while write-held (possible deadlock)", name)
+			}
+			st[k] = lockInfo{mode: rlocked, depth: 1, lockAt: pos}
+		case rlocked:
+			st[k] = lockInfo{mode: rlocked, depth: v.depth + 1, lockAt: v.lockAt}
+		default:
+			st[k] = lockInfo{mode: rlocked, depth: 1, lockAt: pos}
+		}
+	case "RUnlock":
+		switch v.mode {
+		case rlocked:
+			if v.depth > 1 {
+				st[k] = lockInfo{mode: rlocked, depth: v.depth - 1, lockAt: v.lockAt}
+			} else {
+				st[k] = lockInfo{mode: unlocked}
+			}
+		case unlocked:
+			if report {
+				c.pass.Reportf(pos, "RUnlock of %s, which is not read-locked", name)
+			}
+			st[k] = lockInfo{mode: unlocked}
+		default:
+			st[k] = lockInfo{mode: unlocked}
+		}
+	case "TryLock", "TryRLock":
+		// Outcome is a runtime condition the lattice does not track.
+		// NoPos keeps the conflict silent at exits: possibly-held is
+		// only reported for branch-divergent Lock calls.
+		st[k] = lockInfo{mode: conflict}
+	}
+	return st
+}
+
+// lockOp matches a call as a sync mutex operation and returns the
+// mutex cell, its rendered name and the method name.
+func (c *checker) lockOp(call *ast.CallExpr) (cell, string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return cell{}, "", "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return cell{}, "", "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return cell{}, "", "", false
+	}
+	k, name, ok := c.cellOf(sel.X)
+	if !ok {
+		return cell{}, "", "", false
+	}
+	return k, name, op, true
+}
+
+func (c *checker) cellOf(e ast.Expr) (cell, string, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return cell{}, "", false
+		}
+		return cell{obj: obj}, e.Name, true
+	case *ast.SelectorExpr:
+		base, name, ok := c.cellOf(e.X)
+		if !ok {
+			return cell{}, "", false
+		}
+		base.path += "." + e.Sel.Name
+		return base, name + "." + e.Sel.Name, true
+	}
+	return cell{}, "", false
+}
+
+// checkCopy reports assignments whose right-hand side copies a mutex
+// value (sync.Mutex / sync.RWMutex, not a pointer to one).
+func (c *checker) checkCopy(rhs ast.Expr) {
+	rhs = ast.Unparen(rhs)
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+	default:
+		return // composite zero values etc. are initialization
+	}
+	if name, ok := c.mutexValue(rhs); ok {
+		c.pass.Reportf(rhs.Pos(), "assignment copies mutex %s", name)
+	}
+}
+
+// checkCopyArg reports call arguments that pass a mutex by value.
+func (c *checker) checkCopyArg(a ast.Expr) {
+	a = ast.Unparen(a)
+	switch a.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if name, ok := c.mutexValue(a); ok {
+		c.pass.Reportf(a.Pos(), "call passes mutex %s by value", name)
+	}
+}
+
+// mutexValue reports whether e has (non-pointer) sync.Mutex or
+// sync.RWMutex type, and renders its name.
+func (c *checker) mutexValue(e ast.Expr) (string, bool) {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", false
+	}
+	return types.ExprString(e), true
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", locksafe.Analyzer, "locksafe")
+}

@@ -4,17 +4,20 @@
 // next Get, so a retained reference silently aliases another job's
 // scheduler state (childSum, bbs, the event heap) and corrupts both.
 //
-// The check is flow-sensitive within one function: it tracks local
-// variables bound directly to a pool Get result and reports
+// The check is flow-sensitive within one function, running on the
+// shared CFG + fixpoint engine of internal/analysis/cfg: it tracks
+// local variables bound directly to a pool Get result — and, since the
+// CFG rewrite, aliases created by storing such a variable into a
+// struct field — and reports
 //
-//   - any use of such a variable after it was passed to Put, and
-//   - a second Put of the same variable.
+//   - any use of a tracked cell after it was passed to Put, and
+//   - a second Put of the same cell (directly or through an alias).
 //
-// Re-assigning the variable (a fresh Get, or sched = nil) revives or
-// releases it. Branches merge conservatively — a Put on either arm of
-// an if kills the variable afterwards — and loop bodies are traversed
-// twice so a Put at the bottom of an iteration poisons a use at the
-// top of the next. Values stored into fields or passed across function
+// Re-assigning a cell (a fresh Get, or sched = nil) revives or
+// releases it. Control-flow joins merge conservatively — a Put on
+// either arm of an if kills the cell afterwards — and loop back edges
+// are solved to a fixpoint, so a Put at the bottom of an iteration
+// poisons a use at the top of the next. Values passed across function
 // boundaries are out of scope (the arena oracle tests cover those
 // dynamically).
 package poollife
@@ -25,6 +28,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the poollife analyzer.
@@ -41,22 +45,117 @@ func run(pass *analysis.Pass) error {
 		}
 		for _, decl := range file.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				c := &checker{pass: pass, state: map[types.Object]*varState{}}
-				c.stmts(fn.Body.List)
+				checkFunc(pass, fn.Body)
 			}
 		}
 	}
 	return nil
 }
 
-// varState is the lifecycle of one tracked booking variable.
-type varState struct {
+// cell identifies one tracked lifecycle: a local variable (path "")
+// or a field-path alias rooted at a local (path ".sched", ...).
+type cell struct {
+	obj  types.Object
+	path string
+}
+
+// pinfo is the lifecycle state of one cell. group names the cell the
+// Get result was originally bound to; every alias of the same booking
+// shares a group, so a Put through any member kills all of them.
+type pinfo struct {
 	putAt token.Pos // position of the Put that killed it; NoPos = live
+	group cell
+}
+
+// state maps tracked cells to their lifecycle. nil means "not yet
+// reached" (the solver's bottom); a reached block always has a
+// non-nil map, possibly empty.
+type state map[cell]pinfo
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// checkFunc builds the function's CFG, solves the lifecycle lattice
+// forward to a fixpoint, then re-walks each block from its solved
+// entry state to emit diagnostics (solving and reporting share one
+// transfer function, so reports are exactly the stabilized states).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	c := &checker{pass: pass}
+	in := cfg.Solve(g, cfg.Problem[state]{
+		Dir:      cfg.Forward,
+		Boundary: state{},
+		Bottom:   nil,
+		Transfer: func(b *cfg.Block, st state) state {
+			if st == nil {
+				return nil
+			}
+			st = st.clone()
+			for _, n := range b.Nodes {
+				st = c.node(n, st, false)
+			}
+			return st
+		},
+		Merge: mergeStates,
+		Equal: equalStates,
+	})
+	for _, b := range g.Blocks {
+		st := in[b]
+		if st == nil {
+			st = state{}
+		}
+		st = st.clone()
+		for _, n := range b.Nodes {
+			st = c.node(n, st, true)
+		}
+	}
+}
+
+// mergeStates is the lattice join: a cell survives only if tracked on
+// both paths (a Get inside one branch does not outlive the join), and
+// is dead after the join if either path killed it.
+func mergeStates(a, b state) state {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(state, len(a))
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		v := va
+		if va.putAt == token.NoPos && vb.putAt != token.NoPos {
+			v.putAt = vb.putAt
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func equalStates(a, b state) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
 }
 
 type checker struct {
-	pass  *analysis.Pass
-	state map[types.Object]*varState
+	pass *analysis.Pass
 }
 
 // poolMethod reports whether call is pool.<name> on a
@@ -89,264 +188,285 @@ func (c *checker) obj(id *ast.Ident) types.Object {
 	return c.pass.TypesInfo.Defs[id]
 }
 
-// stmts walks a statement list in order, threading lifecycle state.
-func (c *checker) stmts(list []ast.Stmt) {
-	for _, s := range list {
-		c.stmt(s)
+// cellOf resolves an expression to a tracked-cell key: a bare ident,
+// or a selector chain rooted at an ident (j.sched, j.a.b). The bool
+// is false for anything else (calls, index expressions, ...).
+func (c *checker) cellOf(e ast.Expr) (cell, string, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.obj(e)
+		if obj == nil {
+			return cell{}, "", false
+		}
+		return cell{obj: obj}, e.Name, true
+	case *ast.SelectorExpr:
+		base, name, ok := c.cellOf(e.X)
+		if !ok {
+			return cell{}, "", false
+		}
+		base.path += "." + e.Sel.Name
+		return base, name + "." + e.Sel.Name, true
+	}
+	return cell{}, "", false
+}
+
+// killGroup marks every cell sharing k's group dead at pos.
+func killGroup(st state, k cell, pos token.Pos) {
+	g := st[k].group
+	for other, v := range st {
+		if v.group == g {
+			v.putAt = pos
+			st[other] = v
+		}
 	}
 }
 
-func (c *checker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
+// node applies one CFG node to the state. With report=true it also
+// emits diagnostics; the mutation logic is identical either way, so
+// the reporting walk reproduces exactly the states the solver
+// stabilized on.
+func (c *checker) node(n ast.Node, st state, report bool) state {
+	switch n := n.(type) {
 	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			c.expr(rhs)
+		for _, rhs := range n.Rhs {
+			st = c.expr(rhs, st, report)
 		}
 		// x, err := pool.Get(...) binds x to a fresh booking; any other
-		// assignment to a tracked bare ident releases it from tracking
-		// (the canonical pool.Put(j.sched); j.sched = nil idiom ends
-		// with an untracked variable, which is the point).
+		// assignment to a tracked cell releases it from tracking (the
+		// canonical pool.Put(j.sched); j.sched = nil idiom ends with an
+		// untracked cell, which is the point).
 		fresh := false
-		if len(s.Rhs) == 1 {
-			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && c.poolMethod(call, "Get") {
+		if len(n.Rhs) == 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && c.poolMethod(call, "Get") {
 				fresh = true
 			}
 		}
-		for i, lhs := range s.Lhs {
-			id, ok := ast.Unparen(lhs).(*ast.Ident)
-			if !ok {
-				c.expr(lhs) // index/selector stores evaluate their base
-				continue
-			}
-			if id.Name == "_" {
-				continue
-			}
-			obj := c.obj(id)
-			if obj == nil {
-				continue
-			}
-			if fresh && i == 0 {
-				c.state[obj] = &varState{}
-			} else {
-				delete(c.state, obj)
+		// j.sched = s where s is a live tracked cell creates an alias:
+		// the booking now escapes into a field, and a later Put plus
+		// use through either name must be caught.
+		aliasSrc := cell{}
+		aliasOK := false
+		if len(n.Rhs) == 1 && !fresh {
+			if src, _, ok := c.cellOf(n.Rhs[0]); ok {
+				if _, tracked := st[src]; tracked {
+					aliasSrc = src
+					aliasOK = true
+				}
 			}
 		}
+		for i, lhs := range n.Lhs {
+			lhs = ast.Unparen(lhs)
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				obj := c.obj(id)
+				if obj == nil {
+					continue
+				}
+				k := cell{obj: obj}
+				if fresh && i == 0 {
+					st[k] = pinfo{group: k}
+				} else if aliasOK && i == 0 {
+					st[k] = pinfo{putAt: st[aliasSrc].putAt, group: st[aliasSrc].group}
+				} else {
+					delete(st, k)
+				}
+				continue
+			}
+			if k, _, ok := c.cellOf(lhs); ok && k.path != "" {
+				if aliasOK && i == 0 {
+					st[k] = pinfo{putAt: st[aliasSrc].putAt, group: st[aliasSrc].group}
+				} else {
+					delete(st, k)
+				}
+				// The base expression is still evaluated (j in
+				// j.sched): report a dead base read.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					st = c.expr(sel.X, st, report)
+				}
+				continue
+			}
+			st = c.expr(lhs, st, report) // index/selector stores evaluate their base
+		}
+		return st
+
 	case *ast.ExprStmt:
-		c.expr(s.X)
+		return c.expr(n.X, st, report)
+
 	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, v := range vs.Values {
-						c.expr(v)
+						st = c.expr(v, st, report)
 					}
 				}
 			}
 		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		c.expr(s.Cond)
-		then := c.fork()
-		then.stmts(s.Body.List)
-		elseC := c.fork()
-		if s.Else != nil {
-			elseC.stmt(s.Else)
-		}
-		c.merge(then, elseC)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		// Two traversals: the second sees the state a next iteration
-		// would inherit, catching put-then-reuse across the back edge.
-		for range 2 {
-			if s.Cond != nil {
-				c.expr(s.Cond)
-			}
-			c.stmts(s.Body.List)
-			if s.Post != nil {
-				c.stmt(s.Post)
-			}
-		}
-	case *ast.RangeStmt:
-		c.expr(s.X)
-		for range 2 {
-			c.stmts(s.Body.List)
-		}
-	case *ast.BlockStmt:
-		c.stmts(s.List)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		if s.Tag != nil {
-			c.expr(s.Tag)
-		}
-		c.caseBodies(s.Body)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		c.stmt(s.Assign)
-		c.caseBodies(s.Body)
+		return st
+
 	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			c.expr(r)
+		for _, r := range n.Results {
+			st = c.expr(r, st, report)
 		}
+		return st
+
 	case *ast.DeferStmt:
-		// defer pool.Put(s) runs at function exit, so it must not kill s
-		// for the statements that follow. It still counts as a Put for
-		// double-Put purposes if s is already dead here.
-		if c.poolMethod(s.Call, "Put") && len(s.Call.Args) == 1 {
-			if id, ok := ast.Unparen(s.Call.Args[0]).(*ast.Ident); ok {
-				if obj := c.obj(id); obj != nil {
-					if st, tracked := c.state[obj]; tracked {
-						if st.putAt != token.NoPos {
-							c.pass.Reportf(s.Call.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", id.Name, c.pass.Fset.Position(st.putAt))
-						}
-						return
+		// defer pool.Put(s) runs at function exit, so it must not kill
+		// s for the statements that follow. It still counts as a Put
+		// for double-Put purposes if s is already dead here.
+		if c.poolMethod(n.Call, "Put") && len(n.Call.Args) == 1 {
+			if k, name, ok := c.cellOf(n.Call.Args[0]); ok {
+				if v, tracked := st[k]; tracked {
+					if v.putAt != token.NoPos && report {
+						c.pass.Reportf(n.Call.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", name, c.pass.Fset.Position(v.putAt))
 					}
+					return st
 				}
 			}
 		}
-		c.expr(s.Call)
+		return c.expr(n.Call, st, report)
+
 	case *ast.GoStmt:
-		c.expr(s.Call)
+		return c.expr(n.Call, st, report)
+
 	case *ast.SendStmt:
-		c.expr(s.Chan)
-		c.expr(s.Value)
+		st = c.expr(n.Chan, st, report)
+		return c.expr(n.Value, st, report)
+
 	case *ast.IncDecStmt:
-		c.expr(s.X)
-	case *ast.LabeledStmt:
-		c.stmt(s.Stmt)
-	case *ast.SelectStmt:
-		for _, cl := range s.Body.List {
-			if comm, ok := cl.(*ast.CommClause); ok {
-				arm := c.fork()
-				if comm.Comm != nil {
-					arm.stmt(comm.Comm)
+		return c.expr(n.X, st, report)
+
+	case *ast.RangeStmt:
+		// Only the per-iteration key/value binding lives in this node
+		// (the head block); X and the body are separate nodes.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := c.obj(id); obj != nil {
+					delete(st, cell{obj: obj})
 				}
-				arm.stmts(comm.Body)
-				c.merge(arm, c.fork())
 			}
 		}
+		return st
+
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return st
+
+	case ast.Expr:
+		return c.expr(n, st, report)
 	}
+	return st
 }
 
-func (c *checker) caseBodies(body *ast.BlockStmt) {
-	arms := make([]*checker, 0, len(body.List))
-	for _, cl := range body.List {
-		if cc, ok := cl.(*ast.CaseClause); ok {
-			for _, e := range cc.List {
-				c.expr(e)
-			}
-			arm := c.fork()
-			arm.stmts(cc.Body)
-			arms = append(arms, arm)
-		}
-	}
-	for _, arm := range arms {
-		c.merge(arm, c.fork())
-	}
-}
-
-// fork clones the lifecycle state for one control-flow arm.
-func (c *checker) fork() *checker {
-	clone := &checker{pass: c.pass, state: make(map[types.Object]*varState, len(c.state))}
-	for k, v := range c.state {
-		vv := *v
-		clone.state[k] = &vv
-	}
-	return clone
-}
-
-// merge folds two arms back: a variable is dead after the merge if
-// either arm killed it (conservative), and untracked if either arm
-// released it.
-func (c *checker) merge(a, b *checker) {
-	for obj, st := range c.state {
-		sa, okA := a.state[obj]
-		sb, okB := b.state[obj]
-		if !okA || !okB {
-			delete(c.state, obj)
-			continue
-		}
-		if sa.putAt != token.NoPos {
-			st.putAt = sa.putAt
-		} else if sb.putAt != token.NoPos {
-			st.putAt = sb.putAt
-		}
-	}
-	// Variables first tracked inside an arm (x := pool.Get in a branch)
-	// stay tracked only for that arm's scope; nothing to hoist.
-}
-
-// expr walks an expression, reporting uses of dead variables and
-// applying Put transitions.
-func (c *checker) expr(e ast.Expr) {
+// expr walks an expression, reporting uses of dead cells and applying
+// Put transitions. A reported use resets the cell to live so each
+// kill produces one report, not one per subsequent use.
+func (c *checker) expr(e ast.Expr, st state, report bool) state {
 	if e == nil {
-		return
+		return st
 	}
 	switch e := e.(type) {
 	case *ast.CallExpr:
 		if c.poolMethod(e, "Put") && len(e.Args) == 1 {
-			if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok {
-				if obj := c.obj(id); obj != nil {
-					if st, tracked := c.state[obj]; tracked {
-						if st.putAt != token.NoPos {
-							c.pass.Reportf(e.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", id.Name, c.pass.Fset.Position(st.putAt))
+			if k, name, ok := c.cellOf(e.Args[0]); ok {
+				if v, tracked := st[k]; tracked {
+					if v.putAt != token.NoPos {
+						if report {
+							c.pass.Reportf(e.Pos(), "%s Put twice (first Put at %s); the pool may already have rebound it", name, c.pass.Fset.Position(v.putAt))
 						}
-						st.putAt = e.Pos()
-						return
 					}
+					killGroup(st, k, e.Pos())
+					return st
 				}
 			}
 		}
-		c.expr(e.Fun)
+		st = c.expr(e.Fun, st, report)
 		for _, a := range e.Args {
-			c.expr(a)
+			st = c.expr(a, st, report)
 		}
+		return st
+
 	case *ast.Ident:
 		obj := c.pass.TypesInfo.Uses[e]
 		if obj == nil {
-			return
+			return st
 		}
-		if st, tracked := c.state[obj]; tracked && st.putAt != token.NoPos {
-			c.pass.Reportf(e.Pos(), "%s used after Put (at %s); the pool may have rebound it to another job", e.Name, c.pass.Fset.Position(st.putAt))
-			st.putAt = token.NoPos // one report per kill, not per use
+		k := cell{obj: obj}
+		if v, tracked := st[k]; tracked && v.putAt != token.NoPos {
+			if report {
+				c.pass.Reportf(e.Pos(), "%s used after Put (at %s); the pool may have rebound it to another job", e.Name, c.pass.Fset.Position(v.putAt))
+			}
+			v.putAt = token.NoPos // one report per kill, not per use
+			st[k] = v
 		}
+		return st
+
 	case *ast.SelectorExpr:
-		c.expr(e.X)
+		// A selector that names a tracked alias cell (j.sched) is a
+		// use of the pooled value itself.
+		if k, name, ok := c.cellOf(e); ok && k.path != "" {
+			if v, tracked := st[k]; tracked {
+				if v.putAt != token.NoPos {
+					if report {
+						c.pass.Reportf(e.Pos(), "%s used after Put (at %s); the pool may have rebound it to another job", name, c.pass.Fset.Position(v.putAt))
+					}
+					v.putAt = token.NoPos
+					st[k] = v
+				}
+				return st
+			}
+		}
+		return c.expr(e.X, st, report)
+
 	case *ast.IndexExpr:
-		c.expr(e.X)
-		c.expr(e.Index)
+		st = c.expr(e.X, st, report)
+		return c.expr(e.Index, st, report)
 	case *ast.SliceExpr:
-		c.expr(e.X)
-		c.expr(e.Low)
-		c.expr(e.High)
-		c.expr(e.Max)
+		st = c.expr(e.X, st, report)
+		st = c.expr(e.Low, st, report)
+		st = c.expr(e.High, st, report)
+		return c.expr(e.Max, st, report)
 	case *ast.StarExpr:
-		c.expr(e.X)
+		return c.expr(e.X, st, report)
 	case *ast.UnaryExpr:
-		c.expr(e.X)
+		return c.expr(e.X, st, report)
 	case *ast.BinaryExpr:
-		c.expr(e.X)
-		c.expr(e.Y)
+		st = c.expr(e.X, st, report)
+		return c.expr(e.Y, st, report)
 	case *ast.ParenExpr:
-		c.expr(e.X)
+		return c.expr(e.X, st, report)
 	case *ast.TypeAssertExpr:
-		c.expr(e.X)
+		return c.expr(e.X, st, report)
 	case *ast.CompositeLit:
 		for _, el := range e.Elts {
-			c.expr(el)
+			st = c.expr(el, st, report)
 		}
+		return st
 	case *ast.KeyValueExpr:
-		c.expr(e.Value)
+		return c.expr(e.Value, st, report)
 	case *ast.FuncLit:
 		// Closure bodies run with the state at the point of the
-		// literal; uses inside count as uses here.
-		c.stmts(e.Body.List)
+		// literal; uses inside count as uses here. The body is walked
+		// linearly (its own internal control flow is approximated),
+		// matching the pre-CFG checker.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				st = c.expr(n, st, report)
+				return false
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt, *ast.ReturnStmt,
+				*ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt:
+				st = c.node(n, st, report)
+				return false
+			case *ast.Ident:
+				st = c.expr(n, st, report)
+				return false
+			}
+			return true
+		})
+		return st
 	}
+	return st
 }

@@ -1,0 +1,149 @@
+// Fixture for the goroleak analyzer; the package name (service) puts
+// it in the gated set, mirroring the production server.
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	jobs chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// --- positives ---
+
+func (s *srv) sleeper() {
+	go func() {
+		time.Sleep(time.Second) // want `goroutine blocks on time\.Sleep; use a timer select with a cancellation channel`
+	}()
+}
+
+func (s *srv) sender(ch chan int) {
+	go func() {
+		ch <- 1 // want `goroutine blocks on channel send with no cancellation path`
+	}()
+}
+
+func (s *srv) receiver(ch chan int) {
+	go func() {
+		<-ch // want `goroutine blocks on channel receive with no cancellation path`
+	}()
+}
+
+func (s *srv) ranger() {
+	go func() {
+		for v := range s.jobs { // want `goroutine ranges over a channel with no cancellation path`
+			_ = v
+		}
+	}()
+}
+
+func (s *srv) selector(a, b chan int) {
+	go func() {
+		select { // want `goroutine select has no cancellation case, timer case or default`
+		case v := <-a:
+			_ = v
+		case b <- 1:
+		}
+	}()
+}
+
+func (s *srv) viaMethod() {
+	go s.work()
+}
+
+// work is reached transitively from viaMethod's goroutine.
+func (s *srv) work() {
+	s.helper()
+}
+
+func (s *srv) helper() {
+	time.Sleep(time.Millisecond) // want `goroutine blocks on time\.Sleep; use a timer select with a cancellation channel`
+}
+
+func (s *srv) viaClosure() {
+	wait := func() {
+		<-s.jobs // want `goroutine blocks on channel receive with no cancellation path`
+	}
+	go func() {
+		wait()
+	}()
+}
+
+// --- negatives ---
+
+// bufferedSend: a visibly-buffered completion channel cannot block
+// past its capacity (the executor fan-out idiom).
+func (s *srv) bufferedSend(n int) {
+	done := make(chan int, 8)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			done <- i
+		}(i)
+	}
+}
+
+// withContext has a cancellation case.
+func (s *srv) withContext(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// withDefault never blocks.
+func (s *srv) withDefault(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// stopWait: receiving from a struct{} channel is the cancellation
+// path itself.
+func (s *srv) stopWait() {
+	go func() {
+		<-s.stop
+		s.cleanup()
+	}()
+}
+
+func (s *srv) cleanup() {}
+
+// drain mirrors Server.Drain: WaitGroup.Wait is deliberately
+// untracked.
+func (s *srv) drain() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// timed: a timer receive is a wakeup, not a leak.
+func (s *srv) timed(ch chan int) {
+	go func() {
+		t := time.NewTimer(time.Second)
+		defer t.Stop()
+		select {
+		case v := <-ch:
+			_ = v
+		case <-t.C:
+		}
+	}()
+}
+
+// syncRecv may block its caller; only spawned bodies are checked.
+func (s *srv) syncRecv() int {
+	return <-s.jobs
+}

@@ -1,0 +1,81 @@
+// Fixture mirroring the shape of the production core package: the
+// MemBooking event methods are hot-boundary roots by package name, and
+// the planted fmt.Sprintf in the event path must be flagged both
+// directly and through a cross-package call via the allocates fact.
+package core
+
+import (
+	"fmt"
+
+	"hotdep"
+)
+
+type MemBooking struct {
+	booked float64
+	events []float64
+	selbuf []int
+	label  string
+	need   map[int]float64
+}
+
+// OnFinish mirrors the per-event booking update: an event root, so its
+// whole body is hot.
+func (s *MemBooking) OnFinish(id int, mem float64) {
+	s.booked += mem
+	s.events = append(s.events, mem)    // self-append: amortized, clean
+	s.label = fmt.Sprintf("job-%d", id) // want `hot path \(MemBooking\.OnFinish\) allocates: call to fmt\.Sprintf allocates`
+	_ = hotdep.Describe(id)             // want `hot path \(MemBooking\.OnFinish\) calls hotdep\.Describe, which allocates: call to fmt\.Sprintf allocates`
+	_ = hotdep.Sum(id, id)              // allocation-free dependency call: clean
+	if cap(s.selbuf) < id {
+		s.selbuf = make([]int, 0, id*2) // capacity guard: amortized, clean
+	}
+	if s.need == nil {
+		s.need = make(map[int]float64) // lazy init: clean
+	}
+	s.need[id] = mem
+}
+
+// Select mirrors candidate selection; error construction on the
+// failure path is cold and exempt.
+func (s *MemBooking) Select(want int) (int, error) {
+	if want < 0 {
+		return 0, fmt.Errorf("bad want %d", want) // failure path: clean
+	}
+	s.selbuf = s.selbuf[:0]
+	for i := 0; i < want; i++ {
+		s.selbuf = append(s.selbuf, i) // self-append: clean
+	}
+	return len(s.selbuf), nil
+}
+
+// BookedMemory is an event root and must stay allocation-free.
+func (s *MemBooking) BookedMemory() float64 { return s.booked }
+
+type MemBookingPool struct{ free []*MemBooking }
+
+// Get is an event root: the refill path hides behind the cold
+// constructor.
+func (p *MemBookingPool) Get() *MemBooking {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return NewMemBooking() // cold callee: clean
+}
+
+// Put returns an instance to the pool.
+func (p *MemBookingPool) Put(s *MemBooking) {
+	p.free = append(p.free, s) // self-append: clean
+}
+
+// NewMemBooking is the cold constructor: allocations here are
+// per-instance, not per-event.
+//
+//perf:cold
+func NewMemBooking() *MemBooking {
+	return &MemBooking{
+		events: make([]float64, 0, 64),
+		need:   make(map[int]float64),
+	}
+}

@@ -1,0 +1,101 @@
+// Fixture for the direct allocation detections and same-package
+// propagation, using //perf:hot annotations as roots.
+package hotpaths
+
+import "sort"
+
+type state struct {
+	buf   []int
+	cache map[string]int
+	sink  any
+	calls int
+}
+
+// Tick is an event root via annotation.
+//
+//perf:hot
+func (s *state) Tick(n int) {
+	s.buf = append(s.buf, n) // self-append: clean
+	xs := make([]int, n)     // want hotalloc:`hot path \(state\.Tick\) allocates: make`
+	_ = xs
+	p := new(state) // want `hot path \(state\.Tick\) allocates: new`
+	_ = p
+	s.helper(n) // same-package propagation: flagged inside helper
+	s.cold(n)   // cold callee: clean
+}
+
+// helper is dragged onto the hot boundary by its caller.
+func (s *state) helper(n int) {
+	s.buf = append(s.buf, n, n) // self-append: clean
+	m := map[string]int{}       // want `hot path \(state\.helper\) allocates: map literal`
+	_ = m
+}
+
+// cold is excluded from propagation; its allocations are per-call by
+// design.
+//
+//perf:cold
+func (s *state) cold(n int) {
+	s.buf = append(make([]int, 0, n), s.buf...)
+}
+
+// Mix covers literals, append growth, boxing and concatenation.
+//
+//perf:hot
+func (s *state) Mix(name string, xs []int) string {
+	q := &state{} // want `hot path \(state\.Mix\) allocates: heap composite literal`
+	_ = q
+	ys := append(xs, 1) // want `hot path \(state\.Mix\) allocates: append may grow its backing array`
+	_ = ys
+	s.sink = s.calls      // want `hot path \(state\.Mix\) allocates: interface conversion boxes int`
+	lit := []int{1, 2, 3} // want `hot path \(state\.Mix\) allocates: slice literal`
+	_ = lit
+	return name + "!" // want `hot path \(state\.Mix\) allocates: string concatenation`
+}
+
+// Find exercises the no-escape allowlist and capturing closures.
+//
+//perf:hot
+func (s *state) Find(n int) int {
+	i := sort.Search(len(s.buf), func(k int) bool { return s.buf[k] >= n }) // sort.Search does not retain the closure: clean
+	work := func(k int) int { return k + n }                                // want `hot path \(state\.Find\) allocates: closure captures variables`
+	return i + work(n)
+}
+
+// Dispatch calls through a local closure; the closure body is hot.
+//
+//perf:hot
+func (s *state) Dispatch(n int) {
+	emit := func(k int) { // want `hot path \(state\.Dispatch\) allocates: closure captures variables`
+		s.buf = append(s.buf, k)   // self-append: clean
+		s.cache = map[string]int{} // want `hot path \(func literal\) allocates: map literal`
+	}
+	emit(n)
+}
+
+// Ensure exercises the lazy-init and capacity-guard exemptions.
+//
+//perf:hot
+func (s *state) Ensure(n int) {
+	if s.cache == nil {
+		s.cache = make(map[string]int) // lazy init: clean
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]int, len(s.buf), n) // capacity guard: clean
+	}
+}
+
+// Audited carries a deliberate, justified allocation behind the
+// suppression directive.
+//
+//perf:hot
+func (s *state) Audited(n int) {
+	//lint:ignore hotalloc deliberate per-event telemetry buffer
+	xs := make([]int, n)
+	_ = xs
+}
+
+// free is not on any hot boundary: allocations here are fine.
+func (s *state) free() []int {
+	return append([]int{}, s.buf...)
+}

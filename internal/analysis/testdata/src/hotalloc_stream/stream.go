@@ -1,0 +1,42 @@
+// Fixture mirroring the production multitree stream shape: Run is a
+// stream root, so only its event-loop interior is hot and the
+// per-call prologue may allocate freely.
+package multitree
+
+type sched struct {
+	out  []int
+	done map[int]bool
+}
+
+// Run is a stream root: prologue allocations are per-call and clean;
+// loop-interior allocations are per-event and flagged. The fail
+// closure is created once in the prologue but invoked per event, so
+// its body is hot.
+func Run(n int) []int {
+	s := &sched{ // prologue: clean
+		out:  make([]int, 0, n),
+		done: make(map[int]bool, n),
+	}
+	fail := func(id int) {
+		s.out = append(s.out, -id) // self-append: clean
+		s.done[id] = true
+	}
+	trace := make([]int, 0, n) // prologue: clean
+	for i := 0; i < n; i++ {
+		s.out = append(s.out, i) // self-append: clean
+		extra := make([]int, i)  // want `hot path \(Run\) allocates: make`
+		_ = extra
+		fail(i)
+	}
+	_ = trace
+	return s.out
+}
+
+// Drain is not a root; its allocations are per-call.
+func Drain(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

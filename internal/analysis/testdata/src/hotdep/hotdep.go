@@ -1,0 +1,21 @@
+// Package hotdep is a fixture dependency: dependents see its
+// allocators only through the hotalloc `allocates` object fact,
+// exercising the cross-package fact plumbing.
+package hotdep
+
+import "fmt"
+
+// Describe allocates via fmt.Sprintf; hotalloc exports an Allocates
+// fact for it.
+func Describe(n int) string {
+	return fmt.Sprintf("job-%d", n)
+}
+
+// Sum is allocation-free: no fact, hot calls to it stay clean.
+func Sum(a, b int) int { return a + b }
+
+// Grown allocates by growing a fresh backing array.
+func Grown(xs []int, v int) []int {
+	out := append(xs, v)
+	return out
+}

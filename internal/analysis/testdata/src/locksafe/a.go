@@ -1,0 +1,139 @@
+// Fixture for the locksafe analyzer: mutex discipline positives and
+// the production idioms that must stay clean.
+package locksafe
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[int]int
+	n  int
+}
+
+// --- positives ---
+
+func (s *S) leak() int {
+	s.mu.Lock()
+	return s.n // want `return with s\.mu held \(no deferred unlock\)`
+}
+
+func (s *S) leakEnd() {
+	s.mu.Lock()
+	s.n++
+} // want `function exit with s\.mu held \(no deferred unlock\)`
+
+func (s *S) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `second Lock of s\.mu; already held \(possible deadlock\)`
+	s.mu.Unlock()
+}
+
+func (s *S) unlockFirst() {
+	s.mu.Unlock() // want `Unlock of s\.mu, which is not held`
+}
+
+func (s *S) badRUnlock() {
+	s.rw.RUnlock() // want `RUnlock of s\.rw, which is not read-locked`
+}
+
+func (s *S) upgrade() {
+	s.rw.RLock()
+	s.rw.Lock() // want `Lock of s\.rw while read-held \(upgrade deadlock\)`
+	s.rw.Unlock()
+}
+
+func branchy(cond bool) {
+	var mu sync.Mutex
+	if cond {
+		mu.Lock()
+	}
+	return // want `return with mu possibly held \(locked on some paths only\)`
+}
+
+func (s *S) deferLoop(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		defer s.mu.Unlock() // want `defer s\.mu\.Unlock\(\) in a loop runs only at function exit`
+	}
+}
+
+func (s *S) deferTypo() {
+	defer s.mu.Lock() // want `deferred s\.mu\.Lock\(\) acquires the lock at function exit`
+}
+
+func (s *S) copyMutex() {
+	dup := s.mu // want `assignment copies mutex s\.mu`
+	dup.Lock()
+	dup.Unlock()
+	use(s.mu) // want `call passes mutex s\.mu by value`
+}
+
+func use(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// --- negatives: the production idioms ---
+
+// incr is the lock-defer-unlock idiom.
+func (s *S) incr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// lookup mirrors the harness cache: early unlock-and-return on hit,
+// unlock on the fall-through path.
+func (s *S) lookup(k int) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// sweep mirrors the EvalAll loop: per-iteration lock/unlock with a
+// continue in between.
+func (s *S) sweep(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		s.mu.Lock()
+		s.n += x
+		s.mu.Unlock()
+	}
+}
+
+// readers exercises reader-depth tracking: nested RLocks balance.
+func (s *S) readers() int {
+	s.rw.RLock()
+	s.rw.RLock()
+	a := s.n
+	s.rw.RUnlock()
+	s.rw.RUnlock()
+	return a
+}
+
+// try uses TryLock, whose outcome the lattice does not model: no
+// report either way.
+func (s *S) try() {
+	if s.mu.TryLock() {
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// closures are analyzed independently: the literal's balanced pair
+// does not leak into the enclosing function.
+func (s *S) viaClosure() {
+	f := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}
+	f()
+}

@@ -88,3 +88,48 @@ func nilAfterPut(p *core.MemBookingPool, t *core.Tree) {
 	s = nil // overwriting the variable ends tracking
 	_ = s
 }
+
+// job mirrors the multitree per-job record a booking escapes into.
+type job struct {
+	sched *core.MemBooking
+	peak  float64
+}
+
+// fieldEscapePut: the booking escapes into a struct field, is Put
+// through the original variable, and then used through the field —
+// aliasing the pre-CFG walker missed.
+func fieldEscapePut(p *core.MemBookingPool, t *core.Tree, j *job) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	j.sched = s
+	p.Put(s)
+	return j.sched.BookedMemory() // want `j.sched used after Put`
+}
+
+// fieldEscapeDoublePut: Put through the field alias after a Put
+// through the variable is a double free of the same booking.
+func fieldEscapeDoublePut(p *core.MemBookingPool, t *core.Tree, j *job) {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return
+	}
+	j.sched = s
+	p.Put(s)
+	p.Put(j.sched) // want `j.sched Put twice`
+}
+
+// fieldEscapeOK: escaping into a field and releasing both names in
+// the canonical order (Put once, nil the field) is clean.
+func fieldEscapeOK(p *core.MemBookingPool, t *core.Tree, j *job) float64 {
+	s, err := p.Get(t, 100)
+	if err != nil {
+		return 0
+	}
+	j.sched = s
+	v := j.sched.BookedMemory()
+	p.Put(j.sched)
+	j.sched = nil
+	return v
+}

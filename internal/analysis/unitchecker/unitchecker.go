@@ -9,10 +9,14 @@
 // The config file (written by cmd/go next to each package's build
 // actions) names the unit's Go files and maps its imports to compiler
 // export-data files; the checker parses the files, typechecks them
-// with go/importer's gc importer reading that export data, runs the
-// analyzers, prints file:line:col diagnostics to stderr, writes the
-// (empty — the suite is fact-free) .vetx facts output the build system
-// expects, and exits nonzero iff it found something.
+// with go/importer's gc importer reading that export data, loads the
+// dependencies' fact files named by PackageVetx, runs the analyzers,
+// prints file:line:col diagnostics to stderr, gob-encodes the facts
+// this unit exports into the .vetx output the build system expects,
+// and exits nonzero iff it found something. On VetxOnly visits
+// (dependency passes) only fact-producing analyzers run and
+// diagnostics are discarded — exactly the x/tools unitchecker
+// contract.
 package unitchecker
 
 import (
@@ -221,16 +225,26 @@ func runCfg(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
 		return 1, fmt.Errorf("package has no files: %s", cfg.ImportPath)
 	}
 
-	// The suite carries no cross-package facts, but the build system
-	// expects the facts output to exist for caching; write it first so
-	// even a VetxOnly dependency visit succeeds.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return 1, fmt.Errorf("failed to write facts output: %v", err)
-		}
-	}
+	// On a VetxOnly (dependency) visit only the fact producers need
+	// to run; a suite with no fact analyzers can skip the parse
+	// entirely and just write the empty facts file the build system
+	// expects.
 	if cfg.VetxOnly {
-		return 0, nil
+		keep := analyzers[:0:0]
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+		if len(analyzers) == 0 {
+			if cfg.VetxOutput != "" {
+				if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+					return 1, fmt.Errorf("failed to write facts output: %v", err)
+				}
+			}
+			return 0, nil
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -279,22 +293,59 @@ func runCfg(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the type error; still write an
+			// empty facts file so the build system's bookkeeping holds.
+			if cfg.VetxOutput != "" {
+				os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+			}
 			return 0, nil
 		}
 		return 1, err
 	}
 
+	// Load the fact files of every dependency that has one. The keys
+	// of PackageVetx are resolved package paths (same namespace as
+	// PackageFile), which is what ObjectKey-based lookups use.
+	store := analysis.NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A dependency built without facts (stale cache, stdlib):
+			// treat as fact-free rather than failing the unit.
+			continue
+		}
+		if err := store.DecodePackage(path, data); err != nil {
+			return 1, err
+		}
+	}
+
 	exit := 0
 	for _, a := range analyzers {
-		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info, store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit = 1
 			continue
 		}
+		if cfg.VetxOnly {
+			continue // dependency visit: facts only, no diagnostics
+		}
 		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
 			exit = 1
+		}
+	}
+
+	if cfg.VetxOutput != "" {
+		facts, err := store.EncodePackage(cfg.ImportPath)
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return 1, fmt.Errorf("failed to write facts output: %v", err)
 		}
 	}
 	return exit, nil

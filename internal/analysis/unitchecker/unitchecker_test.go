@@ -1,0 +1,85 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetFactRoundTrip drives the real `go vet -vettool` protocol end
+// to end: the build system visits the dependency package first
+// (VetxOnly), the unitchecker gob-encodes its Allocates facts into the
+// vetx file, and the dependent package's visit decodes them through
+// Config.PackageVetx and flags the cross-package call. This is the
+// round trip a unit test of FactStore alone cannot cover: the fact
+// must survive the file format, the ImportMap path resolution and the
+// ObjectKey lookup against a gcimporter-loaded package.
+func TestVetFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vet tool and spawns go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not found: %v", err)
+	}
+
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.22\n")
+	write("dep/dep.go", `package dep
+
+import "fmt"
+
+// Describe allocates via fmt.Sprintf; hotalloc must export an
+// Allocates fact for it.
+func Describe(n int) string {
+	return fmt.Sprintf("job-%d", n)
+}
+`)
+	write("hot/hot.go", `package hot
+
+import "tmpmod/dep"
+
+// Tick is an event-hot root; the dep.Describe call is only reportable
+// if the dependency's fact file round-tripped.
+//
+//perf:hot
+func Tick() {
+	_ = dep.Describe(1)
+}
+`)
+
+	// Build the vet tool from the enclosing repo.
+	repoRoot, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(dir, "treeschedlint")
+	build := exec.Command(goBin, "build", "-o", tool, "./cmd/treeschedlint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vet tool: %v\n%s", err, out)
+	}
+
+	vet := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded; want the cross-package hotalloc finding\noutput:\n%s", out)
+	}
+	want := "hot path (Tick) calls dep.Describe, which allocates: call to fmt.Sprintf allocates"
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("go vet output missing %q:\n%s", want, out)
+	}
+}

@@ -97,7 +97,11 @@ func (s *MemBooking) CheckpointInto(cp *Checkpoint) *Checkpoint {
 // re-selects and re-executes them; that lost work is exactly the
 // fail-stop model's wasted work. Restore reuses the scheduler's O(n)
 // state and rebuilds both heaps from the state vector, so a restart
-// never re-runs preparation.
+// never re-runs preparation. Restore runs once per fault recovery —
+// not per event — so its per-restart scratch is off the hot-path
+// allocation budget.
+//
+//perf:cold
 func (s *MemBooking) Restore(cp *Checkpoint) error {
 	n := s.t.Len()
 	if cp == nil || cp.n != n {

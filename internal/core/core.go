@@ -373,7 +373,11 @@ func (s *MemBooking) Select(free int) []tree.NodeID {
 func (s *MemBooking) Done() bool { return s.remaining == 0 }
 
 // check verifies the proof invariants (Lemmas 2–5) when CheckInvariants
-// is enabled. The first violation is kept in InvariantErr.
+// is enabled. The first violation is kept in InvariantErr. It is
+// diagnostic-only and off by default, so its boxing and closure
+// allocations are deliberately outside the hot-path allocation budget.
+//
+//perf:cold
 func (s *MemBooking) check() {
 	if !s.CheckInvariants || s.InvariantErr != nil {
 		return

@@ -166,8 +166,8 @@ func (p *Plan) NextCrash(proc int, t float64) float64 {
 		p.crashes = make(map[int][]float64)
 		p.crng = make(map[int]*workload.RNG)
 	}
-	rng, ok := p.crng[proc]
-	if !ok {
+	rng := p.crng[proc]
+	if rng == nil {
 		rng = workload.NewRNG(splitmix64(p.seed ^ uint64(proc)*0x94d049bb133111eb))
 		p.crng[proc] = rng
 	}

@@ -649,6 +649,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						Attempts: j.attempt + 1,
 					}
 					if fo != nil && fo.RecordSchedules {
+						//lint:ignore hotalloc RecordSchedules is a test-oracle mode: the copy runs once per finished job, only when a test asks for schedules
 						jr.Schedule = append([]tree.NodeID(nil), j.commitSched...)
 					}
 					res.Jobs[j.idx] = jr

@@ -49,7 +49,11 @@ type Order struct {
 // validate their activation order on every construction, and the O(n)
 // IsTopological scan (plus its position buffer) dominated construction
 // of schedulers on large trees. Safe for concurrent use; orders are
-// shared between the sweep engine's workers.
+// shared between the sweep engine's workers. The memoisation amortises
+// IsTopological's position buffer to one allocation per (order, tree)
+// pair, so hot callers (Rebind, on the admission path) may use it.
+//
+//perf:cold
 func (o *Order) TopologicalFor(t *tree.Tree) bool {
 	if !o.Topological {
 		return false

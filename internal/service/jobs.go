@@ -325,6 +325,7 @@ func (s *Server) runJob(rec *jobRecord, req *Request) {
 				return
 			}
 		} else {
+			//lint:ignore goroleak back-pressure by design: a job without a deadline owes its caller an eventual run, and Drain waits for queued jobs, so the slot send must block
 			s.sem <- struct{}{}
 		}
 		s.inFlight.Add(1)
@@ -355,15 +356,27 @@ func (s *Server) runJob(rec *jobRecord, req *Request) {
 	}
 }
 
-// waitRetry sleeps the backoff before the job's next attempt. A drain
+// waitRetry waits the backoff before the job's next attempt. A drain
 // cuts the wait short (the retry proceeds immediately, so pending work
 // resolves inside the shutdown window); a deadline expiring mid-wait
-// returns false.
+// returns false, and a drain during that terminal wait expires the job
+// at once rather than holding shutdown for a deadline it cannot beat.
 func (s *Server) waitRetry(rec *jobRecord) bool {
 	d := time.Duration(jobBackoff.Delay("job#"+strconv.FormatUint(rec.id, 10), rec.attempts-1) * float64(time.Millisecond))
 	if !rec.deadline.IsZero() {
 		if left := time.Until(rec.deadline); left <= d {
-			time.Sleep(max(left, 0))
+			// The deadline lands inside the backoff, so the job can
+			// never start another attempt: wait out the deadline, but
+			// let a drain resolve the doomed job immediately instead of
+			// holding the shutdown window open for it.
+			if left > 0 {
+				dt := time.NewTimer(left)
+				defer dt.Stop()
+				select {
+				case <-dt.C:
+				case <-s.drainCh:
+				}
+			}
 			return false
 		}
 	}

@@ -10,17 +10,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOOL=bin/treeschedlint
+STAMP="$TOOL.srchash"
 
+# Hash the analyzer source manifest: names and contents together, so
+# edits, new files AND deletions all invalidate the binary. The old
+# `find -newer` check missed deletions entirely — removing an analyzer
+# source left a stale binary looking fresh forever.
+manifest() {
+	{
+		sha256sum go.mod
+		find cmd/treeschedlint internal/analysis -name '*.go' \
+			-not -path '*/testdata/*' -print0 2>/dev/null |
+			sort -z | xargs -0 -r sha256sum
+	} | sha256sum | cut -d' ' -f1
+}
+
+want="$(manifest)"
 rebuild=1
-if [ -x "$TOOL" ]; then
-	if [ -z "$(find cmd/treeschedlint internal/analysis go.mod -name '*.go' -newer "$TOOL" -print -quit 2>/dev/null)" ]; then
-		rebuild=0
-	fi
+if [ -x "$TOOL" ] && [ -f "$STAMP" ] && [ "$(cat "$STAMP")" = "$want" ]; then
+	rebuild=0
 fi
 if [ "$rebuild" = 1 ]; then
 	echo "lint.sh: building $TOOL"
 	mkdir -p bin
 	go build -o "$TOOL" ./cmd/treeschedlint
+	printf '%s\n' "$want" >"$STAMP"
 fi
 
 exec go vet -vettool="$(pwd)/$TOOL" "${@:-./...}"

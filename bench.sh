@@ -29,8 +29,10 @@ go test -run '^$' -bench 'BenchmarkFigSuite$|BenchmarkMemBookingPerEvent/n100k|B
 	-benchtime "${BENCHTIME:-5x}" . | tee "$tmp"
 
 # The stream tier runs seconds per iteration (10k jobs, ~10.5M nodes on
-# one event loop), so it gets its own, smaller iteration count.
-go test -run '^$' -bench 'BenchmarkMultiStreamLarge|BenchmarkServiceJobsThroughput' \
+# one event loop), so it gets its own, smaller iteration count. The two
+# Smoke variants (bare and observer-wired) ride along so the JSON
+# records the telemetry hook's overhead next to its baseline.
+go test -run '^$' -bench 'BenchmarkMultiStreamLarge|BenchmarkMultiStreamSmoke$|BenchmarkMultiStreamObsSmoke|BenchmarkServiceJobsThroughput' \
 	-benchtime "${STREAM_BENCHTIME:-2x}" -timeout 30m . | tee -a "$tmp"
 
 awk '
@@ -43,6 +45,8 @@ $1 ~ /^BenchmarkMultiSweep/ { multi=$3 }
 $1 ~ /^BenchmarkFaultsSweep/ { faults=$3 }
 $1 ~ /^BenchmarkServiceRequest/ { svc=$3 }
 $1 ~ /^BenchmarkMultiStreamLarge/ { msjps=$5; msnode=$7 }
+$1 ~ /^BenchmarkMultiStreamSmoke/ { smnode=$7 }
+$1 ~ /^BenchmarkMultiStreamObsSmoke/ { obnode=$7 }
 $1 ~ /^BenchmarkServiceJobsThroughput/ { sjps=$5 }
 $1 ~ /^BenchmarkSchedPerEventLarge\// {
 	key=$1
@@ -61,6 +65,8 @@ END {
 	printf "  \"service_req_ns\": %s,\n", (svc == "" ? "null" : svc)
 	printf "  \"multi_stream_ns_per_node\": %s,\n", (msnode == "" ? "null" : msnode)
 	printf "  \"multi_stream_jobs_per_sec\": %s,\n", (msjps == "" ? "null" : msjps)
+	printf "  \"multi_stream_smoke_ns_per_node\": %s,\n", (smnode == "" ? "null" : smnode)
+	printf "  \"multi_stream_obs_ns_per_node\": %s,\n", (obnode == "" ? "null" : obnode)
 	printf "  \"service_jobs_per_sec\": %s,\n", (sjps == "" ? "null" : sjps)
 	printf "  \"large_tier_sched_ns_per_node\": {\n"
 	for (i = 0; i < nlt; i++)

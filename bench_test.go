@@ -23,6 +23,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/moldable"
 	"repro/internal/multitree"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -510,7 +511,11 @@ func BenchmarkPriceStudy(b *testing.B) { benchExperiment(b, "price") }
 // the two throughput figures bench.sh records as
 // multi_stream_ns_per_node and multi_stream_jobs_per_sec. The Smoke
 // variant is the same pipeline at CI scale (≤500 jobs), guarded against
-// regression by scripts/bench_guard.sh.
+// regression by scripts/bench_guard.sh; ObsSmoke is Smoke with a live
+// telemetry observer wired into the event loop, and bench_guard.sh
+// additionally fails if its ns/node exceeds the bare Smoke number by
+// more than OBS_SLACK percent (default 5) — the enforced cost ceiling
+// of the observability hook.
 
 var (
 	streamOnce  sync.Once
@@ -525,14 +530,24 @@ func streamCorpus() ([]multitree.JobSpec, *multitree.StreamInfo) {
 	return streamSpecs, streamInfo
 }
 
-func benchStream(b *testing.B, specs []multitree.JobSpec, info *multitree.StreamInfo) {
+// benchStream times multitree.Run over one corpus. newObs, when
+// non-nil, builds a fresh observer per iteration (closed outside the
+// timed window — the daemon amortizes construction over its lifetime,
+// so only the per-event emission cost belongs in ns/node).
+func benchStream(b *testing.B, specs []multitree.JobSpec, info *multitree.StreamInfo, newObs func() *obs.Observer) {
 	b.Helper()
 	var elapsed time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		var o *obs.Observer
+		if newObs != nil {
+			o = newObs()
+		}
 		start := time.Now()
-		res, err := multitree.Run(specs, &multitree.Options{Procs: 32, Mem: info.Mem, Policy: multitree.EASY{}})
+		res, err := multitree.Run(specs, &multitree.Options{
+			Procs: 32, Mem: info.Mem, Policy: multitree.EASY{}, Observer: o})
 		elapsed += time.Since(start)
+		o.Close()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -548,13 +563,29 @@ func benchStream(b *testing.B, specs []multitree.JobSpec, info *multitree.Stream
 
 func BenchmarkMultiStreamLarge(b *testing.B) {
 	specs, info := streamCorpus()
-	benchStream(b, specs, info)
+	benchStream(b, specs, info, nil)
+}
+
+func smokeCorpus() ([]multitree.JobSpec, *multitree.StreamInfo) {
+	return multitree.MakeStream(&multitree.StreamOptions{
+		Seed: 7, Jobs: 500, MinNodes: 50, MaxNodes: 5000, Rungs: 9})
 }
 
 func BenchmarkMultiStreamSmoke(b *testing.B) {
-	specs, info := multitree.MakeStream(&multitree.StreamOptions{
-		Seed: 7, Jobs: 500, MinNodes: 50, MaxNodes: 5000, Rungs: 9})
-	benchStream(b, specs, info)
+	specs, info := smokeCorpus()
+	benchStream(b, specs, info, nil)
+}
+
+// BenchmarkMultiStreamObsSmoke is the smoke corpus with telemetry on:
+// a single-producer observer (Run emits from one goroutine) with no
+// subscribers, the daemon's steady state when nobody watches /streamz.
+// bench_guard.sh holds its ns/node within OBS_SLACK percent of the
+// bare Smoke run.
+func BenchmarkMultiStreamObsSmoke(b *testing.B) {
+	specs, info := smokeCorpus()
+	benchStream(b, specs, info, func() *obs.Observer {
+		return obs.New(&obs.Options{Ring: 1 << 14, SingleProducer: true})
+	})
 }
 
 // BenchmarkServiceJobsThroughput measures the asynchronous job API end

@@ -47,8 +47,14 @@ func main() {
 		parallel = flag.Bool("parallel", true, "evaluate sweep cells on a GOMAXPROCS-wide worker pool (deterministic)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		timeline = flag.Bool("timeline", false, "instead of an experiment, print the cluster occupancy timeline of an observed fault-injected job-stream run")
+		tlJobs   = flag.Int("timeline-jobs", 40, "job count of the -timeline stream")
+		tlJSON   = flag.Bool("timeline-json", false, "emit the -timeline as JSON instead of text")
 	)
 	flag.Parse()
+	if *timeline {
+		os.Exit(runTimeline(*seed, *procs, *tlJobs, *tlJSON))
+	}
 	// run instead of inline code so error returns unwind through the
 	// deferred profile writers: an os.Exit here would leave the CPU
 	// profile unflushed — and a failing run is the one most worth

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/multitree"
+	"repro/internal/obs"
+)
+
+// runTimeline is the -timeline mode: a fault-injected synthetic job
+// stream runs through the cluster simulator with a recording observer,
+// and the reconstructed cluster occupancy timeline — per-job lanes,
+// backfills, faults, checkpoints, the Σ-active-slices profile and the
+// queue-depth track — is printed as text (or JSON with -timeline-json).
+// It is the offline twin of the daemon's /streamz: the same event
+// stream, replayed into a picture instead of an SSE feed.
+func runTimeline(seed uint64, procs, jobs int, asJSON bool) int {
+	if jobs < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -timeline-jobs must be positive")
+		return 2
+	}
+	specs, info := multitree.MakeStream(&multitree.StreamOptions{
+		Seed: seed, Jobs: jobs, MinNodes: 20, MaxNodes: 800, Rungs: 6,
+	})
+	// Log mode retains the full drained history; the ring is sized for
+	// the whole run so the timeline never has drop gaps. Run is a single
+	// emitter, so the cheaper single-producer mode applies.
+	m := faults.TaskFailures(0.002)
+	o := obs.New(&obs.Options{Ring: 1 << 20, Log: true, SingleProducer: true})
+	res, err := multitree.Run(specs, &multitree.Options{
+		Procs: procs, Mem: info.Mem, Policy: multitree.EASY{},
+		Observer: o,
+		Faults: &multitree.FaultOptions{
+			Plan:       m.NewPlan(faults.Seed(seed, m, "timeline")),
+			MaxRetries: 4,
+			Backoff:    faults.Backoff{Base: 10, Cap: 200, Jitter: 0.3},
+			Checkpoint: core.CheckpointEvery{K: 8},
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	o.Close()
+	names := make([]string, len(specs))
+	for i := range specs {
+		names[i] = specs[i].Name
+	}
+	tl := obs.BuildTimeline(o.Events(), names, info.Mem)
+	if asJSON {
+		b, err := tl.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return 0
+	}
+	if err := tl.WriteText(os.Stdout, 100, 40); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("makespan %.4g  events %d  restarts %d  checkpoints %d  failed %d  peak reserved %.4g of %.4g\n",
+		res.Makespan, res.Events, res.Restarts, res.Checkpoints, res.FailedJobs, res.PeakReserved, info.Mem)
+	return 0
+}

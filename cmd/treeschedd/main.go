@@ -207,6 +207,9 @@ func run(addr string, opts *service.Options, ckFile string, drainWait time.Durat
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainWait)
 	defer cancelDrain()
 	pending := srv.Drain(drainCtx)
+	// The event bus outlived the job runners so late completions could
+	// still stream; now flush it and release any /streamz stragglers.
+	srv.CloseStreams()
 	if len(pending) == 0 {
 		return nil
 	}

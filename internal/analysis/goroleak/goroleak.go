@@ -1,6 +1,7 @@
 // Package goroleak checks that goroutines started in the long-running
-// packages (service, executor, multitree — matched by package name,
-// fixtures included) cannot block forever with no cancellation path.
+// packages (service, executor, multitree, obs — matched by package
+// name, fixtures included) cannot block forever with no cancellation
+// path.
 // A leaked goroutine in those packages outlives its request or run and
 // pins pool memory the steady-state alloc guards assume is recycled.
 //
@@ -37,7 +38,7 @@ import (
 // Analyzer is the goroleak analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "goroleak",
-	Doc:  "check that goroutines in service/executor/multitree have a cancellation path",
+	Doc:  "check that goroutines in service/executor/multitree/obs have a cancellation path",
 	Run:  run,
 }
 
@@ -46,6 +47,7 @@ var gated = map[string]bool{
 	"service":   true,
 	"executor":  true,
 	"multitree": true,
+	"obs":       true,
 }
 
 type checker struct {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestGoroleak(t *testing.T) {
-	analysistest.Run(t, "../testdata/src", goroleak.Analyzer, "goroleak")
+	analysistest.Run(t, "../testdata/src", goroleak.Analyzer, "goroleak", "goroleak_obs")
 }

@@ -1,0 +1,69 @@
+// Fixture for the goroleak analyzer; the package name (obs) puts it
+// in the gated set, mirroring the telemetry event bus. The negatives
+// are the drain-goroutine idioms the real package relies on: a ticker
+// select with a struct{} done case, and drop-instead-of-block fanout
+// sends guarded by a default case.
+package obs
+
+import "time"
+
+type bus struct {
+	done chan struct{}
+	subs []chan int
+}
+
+// --- positives ---
+
+func (b *bus) napper() {
+	go func() {
+		time.Sleep(time.Millisecond) // want `goroutine blocks on time\.Sleep; use a timer select with a cancellation channel`
+	}()
+}
+
+func (b *bus) pusher(out chan int) {
+	go func() {
+		out <- 1 // want `goroutine blocks on channel send with no cancellation path`
+	}()
+}
+
+func (b *bus) poller(in chan int) {
+	go func() {
+		for {
+			select { // want `goroutine select has no cancellation case, timer case or default`
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// --- negatives ---
+
+// drain is the production shape: ticker-paced, done-cancellable, and
+// a slow subscriber is dropped on, never blocked on.
+func (b *bus) drain() {
+	go func() {
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-b.done:
+				return
+			case <-tick.C:
+				for _, s := range b.subs {
+					select {
+					case s <- 1:
+					default: // drop-oldest: the consumer pays, not the bus
+					}
+				}
+			}
+		}
+	}()
+}
+
+func (b *bus) buffered() {
+	ch := make(chan int, 8)
+	go func() {
+		ch <- 1 // visibly buffered: admission never parks here
+	}()
+}

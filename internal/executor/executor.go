@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -70,6 +71,13 @@ type Options struct {
 	Plan *faults.Plan
 	// PlanKey names this run in the plan's draws.
 	PlanKey string
+	// Observer, when non-nil, receives the run's task events (start,
+	// finish, fault, restart) stamped with wall-clock seconds since the
+	// run began and Job = -1 (a live run executes one tree, not a job
+	// wave). Retry attempts emit from worker goroutines concurrently
+	// with the launch loop, so the observer must NOT be configured with
+	// obs.Options.SingleProducer.
+	Observer *obs.Observer
 }
 
 // Run executes every task of t using at most workers concurrent
@@ -103,6 +111,7 @@ func RunWithOptions(t *tree.Tree, s core.Scheduler, task Task, opt Options) (*Re
 	if unit <= 0 {
 		unit = time.Millisecond
 	}
+	ob := opt.Observer
 	if err := s.Init(); err != nil {
 		return nil, err
 	}
@@ -135,6 +144,7 @@ func RunWithOptions(t *tree.Tree, s core.Scheduler, task Task, opt Options) (*Re
 			if err == nil {
 				return completion{id, nil, a}
 			}
+			ob.Emit(obs.KindFault, time.Since(start).Seconds(), -1, int32(id), float64(a), 0)
 			if a == opt.MaxRetries {
 				return completion{id, err, a}
 			}
@@ -149,6 +159,7 @@ func RunWithOptions(t *tree.Tree, s core.Scheduler, task Task, opt Options) (*Re
 			} else if ctx.Err() != nil {
 				return completion{id, ctx.Err(), a}
 			}
+			ob.Emit(obs.KindRestart, time.Since(start).Seconds(), -1, int32(id), float64(a+1), 0)
 		}
 	}
 
@@ -170,6 +181,7 @@ func RunWithOptions(t *tree.Tree, s core.Scheduler, task Task, opt Options) (*Re
 			if used > res.PeakMem {
 				res.PeakMem = used
 			}
+			ob.Emit(obs.KindStart, time.Since(start).Seconds(), -1, int32(id), t.Exec(id)+t.Out(id), 0)
 			go func(id tree.NodeID) {
 				done <- attempt(id)
 			}(id)
@@ -201,6 +213,9 @@ func RunWithOptions(t *tree.Tree, s core.Scheduler, task Task, opt Options) (*Re
 		running--
 		finished++
 		res.Retries += c.retries
+		if c.err == nil {
+			ob.Emit(obs.KindFinish, time.Since(start).Seconds(), -1, int32(c.id), 0, 0)
+		}
 		used -= t.Exec(c.id)
 		for _, ch := range t.Children(c.id) {
 			used -= t.Out(ch)

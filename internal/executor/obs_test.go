@@ -1,0 +1,68 @@
+package executor_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/tree"
+)
+
+// TestExecutorEmitsEvents runs a live fault-injected execution against
+// a multi-producer observer: retrying worker goroutines emit
+// fault/restart events concurrently with the launch loop's
+// start/finish events, so this doubles as the -race exercise of the
+// Vyukov ring in its production wiring. The stream must account for
+// exactly one start and one committed finish per task, and one
+// fault + restart per retried attempt.
+func TestExecutorEmitsEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tr := randTree(rng, 120)
+	s := newMB(t, tr, 1e9)
+	o := obs.New(&obs.Options{Ring: 1 << 14, Poll: time.Millisecond, Log: true})
+	m := faults.TaskFailures(0.05)
+	res, err := executor.RunWithOptions(tr, s, func(id tree.NodeID) error { return nil },
+		executor.Options{
+			Workers:    8,
+			MaxRetries: 8,
+			Plan:       m.NewPlan(faults.Seed(3, m, "exec-obs")),
+			PlanKey:    "exec-obs",
+			Backoff:    faults.Backoff{Base: 0.1, Cap: 1},
+			Observer:   o,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if d := o.DroppedEvents(); d != 0 {
+		t.Fatalf("test ring overflowed (%d drops)", d)
+	}
+	var starts, finishes, faultEvs, restarts int
+	for _, ev := range o.Events() {
+		switch ev.Kind {
+		case obs.KindStart:
+			starts++
+		case obs.KindFinish:
+			finishes++
+		case obs.KindFault:
+			faultEvs++
+		case obs.KindRestart:
+			restarts++
+		}
+		if ev.Job != -1 {
+			t.Fatalf("live-run event carries job id %d, want -1: %+v", ev.Job, ev)
+		}
+	}
+	if starts != tr.Len() || finishes != tr.Len() {
+		t.Errorf("starts %d finishes %d, want %d each", starts, finishes, tr.Len())
+	}
+	if faultEvs != res.Retries || restarts != res.Retries {
+		t.Errorf("fault events %d, restart events %d, want Retries %d of each", faultEvs, restarts, res.Retries)
+	}
+	if res.Retries == 0 {
+		t.Error("fault plan injected nothing; the test is vacuous")
+	}
+}

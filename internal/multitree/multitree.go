@@ -25,6 +25,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/pqueue"
 	"repro/internal/tree"
@@ -59,6 +60,15 @@ type Options struct {
 	// failures, retry-with-backoff and checkpoint/restart. Nil keeps the
 	// fault-free fast path bit for bit.
 	Faults *FaultOptions
+	// Observer, when non-nil, receives the run's cluster events (admit,
+	// backfill, task start/finish, fault, restart, checkpoint, queue
+	// depth, job done) stamped with simulation time. Emission never
+	// blocks and never allocates, and the observer has no effect on any
+	// scheduling decision: results are bit-identical with or without
+	// one. Run is a single emitter, so an obs.Options.SingleProducer
+	// observer is safe here as long as it is dedicated to one Run at a
+	// time; Run flushes it on return.
+	Observer *obs.Observer
 }
 
 // FaultOptions configure fail-stop fault injection and recovery. The
@@ -231,6 +241,13 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		pol = FCFS{}
 	}
 	p := opt.Procs
+	// The observer hook: every emission below is an array store behind
+	// one branch (obs.Emit is nil-safe and allocation-free), so the
+	// fault-free fast path and the steady-state alloc guarantee hold
+	// with telemetry on. The deferred Flush publishes the tail of the
+	// single-producer batch once the loop is done.
+	ob := opt.Observer
+	defer ob.Flush()
 
 	fo := opt.Faults
 	var plan *faults.Plan
@@ -317,6 +334,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		if j.sched == nil {
 			return // already failed at this instant (e.g. crash after burst)
 		}
+		ob.Emit(obs.KindFault, now, int32(j.idx), -1, j.slice, 0)
 		for s := range slots {
 			rec := &slots[s]
 			if rec.job != j {
@@ -372,6 +390,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				Peak: j.peak, Slice: j.slice, Estimate: j.est,
 				Attempts: j.attempt, Failed: true,
 			}
+			ob.Emit(obs.KindDone, now, int32(j.idx), -1, j.slice, 1)
 			if now > res.Makespan {
 				res.Makespan = now
 			}
@@ -379,6 +398,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		}
 		res.Restarts++
 		j.retryAt = now + fo.Backoff.Delay(j.spec.Name, j.attempt-1)
+		ob.Emit(obs.KindRestart, now, int32(j.idx), -1, j.retryAt, float64(j.attempt))
 		at := sort.Search(len(retryQ), func(k int) bool {
 			r := retryQ[k]
 			if r.retryAt != j.retryAt {
@@ -395,13 +415,18 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 	for finished < len(jobs) {
 		// Retries whose backoff has elapsed rejoin the admission queue
 		// (behind any same-instant fresh arrivals, already appended).
+		rejoined := false
 		for len(retryQ) > 0 && retryQ[0].retryAt <= now {
 			queue = append(queue, retryQ[0])
 			retryQ = retryQ[1:]
 			admitDirty = true
+			rejoined = true
 			if len(queue) > res.MaxQueue {
 				res.MaxQueue = len(queue)
 			}
+		}
+		if rejoined {
+			ob.Emit(obs.KindQueueDepth, now, -1, -1, float64(len(queue)), 0)
 		}
 		// Admission: let the policy carve slices while jobs wait. Skipped
 		// while neither the queue nor the free pool has changed since the
@@ -484,6 +509,28 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				relOrder[at] = j
 			}
 			if nAdmitted > 0 {
+				if ob != nil {
+					// An admission that jumps over a still-waiting earlier
+					// queue position is a backfill: the policy (EASY, SBF)
+					// moved a job ahead of the queue head's reservation.
+					firstSkipped := -1
+					for qi, marked := range admitMark {
+						if !marked {
+							firstSkipped = qi
+							break
+						}
+					}
+					for qi, marked := range admitMark {
+						if !marked {
+							continue
+						}
+						j := queue[qi]
+						ob.Emit(obs.KindAdmit, now, int32(j.idx), -1, j.slice, freeMem)
+						if firstSkipped >= 0 && qi > firstSkipped {
+							ob.Emit(obs.KindBackfill, now, int32(j.idx), -1, j.slice, 0)
+						}
+					}
+				}
 				kept := queue[:0]
 				for qi, j := range queue {
 					if !admitMark[qi] {
@@ -491,6 +538,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 					}
 				}
 				queue = kept
+				ob.Emit(obs.KindQueueDepth, now, -1, -1, float64(len(queue)), 0)
 				if reserved := opt.Mem - freeMem; reserved > res.PeakReserved {
 					res.PeakReserved = reserved
 				}
@@ -514,6 +562,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 				d := j.spec.Tree.Time(nid)
 				slots[slot] = slotRec{job: j, node: nid, start: now, finish: now + d}
 				events.Push(now+d, slot)
+				ob.Emit(obs.KindStart, now, int32(j.idx), int32(nid), d, 0)
 				res.BusyTime += d
 				freeProcs--
 				j.running++
@@ -633,6 +682,11 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						j.commitSched = append(j.commitSched, j.batch...)
 					}
 				}
+				if ob != nil {
+					for _, nid := range j.batch {
+						ob.Emit(obs.KindFinish, now, int32(j.idx), int32(nid), 0, 0)
+					}
+				}
 				j.batch = j.batch[:0]
 				j.remaining -= n
 				j.running -= n
@@ -653,6 +707,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						jr.Schedule = append([]tree.NodeID(nil), j.commitSched...)
 					}
 					res.Jobs[j.idx] = jr
+					ob.Emit(obs.KindDone, now, int32(j.idx), -1, j.slice, 0)
 					if now > res.Makespan {
 						res.Makespan = now
 					}
@@ -689,6 +744,7 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 						j.sinceCk = 0
 						j.workSinceCk = 0
 						res.Checkpoints++
+						ob.Emit(obs.KindCheckpoint, now, int32(j.idx), -1, booked, 0)
 					}
 					if booked > j.peakBooked {
 						j.peakBooked = booked
@@ -720,13 +776,18 @@ func Run(specs []JobSpec, opt *Options) (*Result, error) {
 		// A whole same-instant arrival burst joins the queue here and is
 		// batched through a single policy pass at the top of the next
 		// iteration, rather than one admission round per arrival.
+		arrived := false
 		for arrIdx < len(byArrival) && byArrival[arrIdx].spec.Arrival == now {
 			queue = append(queue, byArrival[arrIdx])
 			arrIdx++
 			admitDirty = true
+			arrived = true
 			if len(queue) > res.MaxQueue {
 				res.MaxQueue = len(queue)
 			}
+		}
+		if arrived {
+			ob.Emit(obs.KindQueueDepth, now, -1, -1, float64(len(queue)), 0)
 		}
 	}
 	if fo != nil && math.Abs(freeMem-opt.Mem) > eps {

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A small hand-built stream: job 0 admitted at t=0 and done at t=10;
+// job 1 backfilled at t=2, faulted at t=5, restarted, re-admitted at
+// t=7 with a checkpoint at t=8, done at t=12; job 2 admitted at t=6
+// and failed terminally at t=9.
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0, Job: 0, Node: -1, Kind: KindQueueDepth, A: 2},
+		{Time: 0, Job: 0, Node: -1, Kind: KindAdmit, A: 100, B: 300},
+		{Time: 0, Job: 0, Node: 3, Kind: KindStart, A: 4},
+		{Time: 2, Job: 1, Node: -1, Kind: KindAdmit, A: 50, B: 250},
+		{Time: 2, Job: 1, Node: -1, Kind: KindBackfill, A: 50},
+		{Time: 4, Job: 0, Node: 3, Kind: KindFinish},
+		{Time: 5, Job: 1, Node: -1, Kind: KindFault, A: 50},
+		{Time: 5, Job: 1, Node: -1, Kind: KindRestart, A: 6, B: 1},
+		{Time: 6, Job: 2, Node: -1, Kind: KindAdmit, A: 80, B: 170},
+		{Time: 7, Job: 1, Node: -1, Kind: KindAdmit, A: 50, B: 120},
+		{Time: 8, Job: 1, Node: -1, Kind: KindCheckpoint, A: 30},
+		{Time: 9, Job: 2, Node: -1, Kind: KindDone, A: 80, B: 1},
+		{Time: 10, Job: 0, Node: -1, Kind: KindDone, A: 100},
+		{Time: 12, Job: 1, Node: -1, Kind: KindDone, A: 50},
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	tl := BuildTimeline(sampleEvents(), []string{"alpha", "beta", "gamma"}, 400)
+	if tl.Jobs != 3 || len(tl.Lanes) != 3 {
+		t.Fatalf("got %d jobs / %d lanes, want 3/3", tl.Jobs, len(tl.Lanes))
+	}
+	if tl.Makespan != 12 {
+		t.Fatalf("makespan %g, want 12", tl.Makespan)
+	}
+	l0, l1, l2 := tl.Lanes[0], tl.Lanes[1], tl.Lanes[2]
+	if l0.Name != "alpha" || l0.Attempts != 1 || len(l0.Segments) != 1 ||
+		l0.Segments[0] != (Segment{Start: 0, End: 10}) || l0.Tasks != 1 {
+		t.Fatalf("lane 0 wrong: %+v", l0)
+	}
+	if !l1.Backfilled || l1.Attempts != 2 || len(l1.Segments) != 2 || l1.Checkpoints != 1 {
+		t.Fatalf("lane 1 wrong: %+v", l1)
+	}
+	if !l1.Segments[0].Aborted || l1.Segments[0].End != 5 || l1.Segments[1] != (Segment{Start: 7, End: 12}) {
+		t.Fatalf("lane 1 segments wrong: %+v", l1.Segments)
+	}
+	if !l2.Failed || l2.Name != "gamma" {
+		t.Fatalf("lane 2 wrong: %+v", l2)
+	}
+	if tl.Restarts != 1 || tl.Checkpoints != 1 {
+		t.Fatalf("restarts %d checkpoints %d, want 1/1", tl.Restarts, tl.Checkpoints)
+	}
+	// Peak occupancy: jobs 0+1+2 never overlap all three with job 1's
+	// first slice released at 5: max is 100+80+50 = 230 (t=7..9).
+	peak := 0.0
+	for _, s := range tl.Occupancy {
+		if s.Reserved > peak {
+			peak = s.Reserved
+		}
+	}
+	if peak != 230 {
+		t.Fatalf("peak reserved %g, want 230", peak)
+	}
+}
+
+func TestTimelineText(t *testing.T) {
+	tl := BuildTimeline(sampleEvents(), []string{"alpha", "beta", "gamma"}, 400)
+	var sb strings.Builder
+	if err := tl.WriteText(&sb, 60, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cluster timeline: 3 jobs", "alpha", "beta", "gamma",
+		"*", "x", "c", "F", "occupancy", "queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	// Lane cap: rendering with maxJobs 1 reports the overflow.
+	sb.Reset()
+	if err := tl.WriteText(&sb, 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 more jobs") {
+		t.Fatalf("maxJobs cap not reported:\n%s", sb.String())
+	}
+}
+
+func TestTimelineJSON(t *testing.T) {
+	tl := BuildTimeline(sampleEvents(), nil, 400)
+	b, err := tl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs != 3 || back.Makespan != 12 || len(back.Lanes) != 3 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}
+
+// TestTimelineTolerantOfDrops feeds a truncated stream (the admit of
+// job 0 lost to a ring drop): orphan done/fault events must not
+// corrupt the occupancy accounting.
+func TestTimelineTolerantOfDrops(t *testing.T) {
+	tl := BuildTimeline([]Event{
+		{Time: 3, Job: 0, Node: -1, Kind: KindDone, A: 100},
+		{Time: 4, Job: 1, Node: -1, Kind: KindAdmit, A: 50},
+		{Time: 6, Job: 1, Node: -1, Kind: KindDone, A: 50},
+	}, nil, 0)
+	for _, s := range tl.Occupancy {
+		if s.Reserved < 0 {
+			t.Fatalf("negative occupancy %g", s.Reserved)
+		}
+	}
+	if tl.Jobs != 2 {
+		t.Fatalf("jobs %d, want 2", tl.Jobs)
+	}
+}

@@ -1,12 +1,16 @@
 package service
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/tree"
 )
 
 // This file is the asynchronous job API: POST /jobs enqueues a
@@ -73,9 +77,12 @@ type jobStore struct {
 	bytes      int64 // Σ cost over queued + running jobs
 	done       int64
 	failed     int64
-	maxPending int   // queued + running cap
-	maxBytes   int64 // queued + running payload-byte cap
-	maxTracked int   // retained records cap
+	restarts   int64   // transient-failure re-queues
+	expired    int64   // deadline expiries (also counted in failed)
+	wasted     float64 // evaluation seconds of attempts that were retried
+	maxPending int     // queued + running cap
+	maxBytes   int64   // queued + running payload-byte cap
+	maxTracked int     // retained records cap
 }
 
 func newJobStore(maxPending int, maxBytes int64, maxTracked int) *jobStore {
@@ -148,13 +155,18 @@ func (js *jobStore) setRunning(rec *jobRecord) {
 
 // requeue moves a running job back to queued after a transient failure:
 // its payload-byte reservation and retained request stay (the job is
-// still pending), its attempt count keeps the history.
-func (js *jobStore) requeue(rec *jobRecord) {
+// still pending), its attempt count keeps the history. wasted is the
+// discarded attempt's evaluation seconds, folded into the wasted-work
+// ledger the way the simulator's Result.WastedWork accounts lost
+// processor time.
+func (js *jobStore) requeue(rec *jobRecord, wasted float64) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	rec.status = JobQueued
 	js.running--
 	js.queued++
+	js.restarts++
+	js.wasted += wasted
 }
 
 // finish records the outcome of a running job and releases its
@@ -193,6 +205,7 @@ func (js *jobStore) expire(rec *jobRecord, herr *httpError) {
 	rec.errStatus = herr.status
 	rec.errBody = herr.body
 	js.failed++
+	js.expired++
 }
 
 // pending returns the retained requests of every queued or running job,
@@ -237,6 +250,20 @@ func (js *jobStore) gauges() (queued, running int, pendingBytes, done, failed in
 	return js.queued, js.running, js.bytes, js.done, js.failed, len(js.byID)
 }
 
+// faultGauges returns (restarts, expired, wastedSeconds).
+func (js *jobStore) faultGauges() (restarts, expired int64, wasted float64) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.restarts, js.expired, js.wasted
+}
+
+// depth returns the current queued-job count (for queue-depth events).
+func (js *jobStore) depth() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.queued
+}
+
 // handleJobSubmit enqueues one asynchronous job. The body is decoded
 // under a worker-pool slot exactly like /schedule (hostile bytes are as
 // reachable here); the evaluation itself runs later, on its own slot.
@@ -253,7 +280,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		return
 	}
-	s.inFlight.Add(1)
+	s.enterFlight()
 	defer func() {
 		s.inFlight.Add(-1)
 		<-s.sem
@@ -292,6 +319,8 @@ func (s *Server) submitJob(req *Request) (*jobRecord, bool) {
 	if !ok {
 		return nil, false
 	}
+	s.obs.Emit(obs.KindAdmit, s.uptime(), int32(rec.id), -1, float64(cost), 0)
+	s.obs.Emit(obs.KindQueueDepth, s.uptime(), -1, -1, float64(s.jobs.depth()), 0)
 	s.jobsWG.Add(1)
 	go s.runJob(rec, req)
 	return rec, true
@@ -328,25 +357,36 @@ func (s *Server) runJob(rec *jobRecord, req *Request) {
 			//lint:ignore goroleak back-pressure by design: a job without a deadline owes its caller an eventual run, and Drain waits for queued jobs, so the slot send must block
 			s.sem <- struct{}{}
 		}
-		s.inFlight.Add(1)
+		s.enterFlight()
 		s.jobs.setRunning(rec)
+		s.obs.Emit(obs.KindStart, s.uptime(), int32(rec.id), -1, float64(rec.attempts), 0)
 		eval := s.schedule
 		if s.evalHook != nil {
 			eval = s.evalHook
 		}
+		began := time.Now()
 		resp, herr := eval(req)
+		elapsed := time.Since(began).Seconds()
+		s.recordAdmission(req, herr)
 		s.inFlight.Add(-1)
 		<-s.sem
 		transient := herr != nil && herr.status >= http.StatusInternalServerError
 		if transient && rec.attempts <= req.Retries {
-			s.jobs.requeue(rec)
+			s.obs.Emit(obs.KindFault, s.uptime(), int32(rec.id), -1, float64(rec.attempts), 0)
+			s.jobs.requeue(rec, elapsed)
 			if !s.waitRetry(rec) {
 				s.expireJob(rec)
 				return
 			}
+			s.obs.Emit(obs.KindRestart, s.uptime(), int32(rec.id), -1, float64(rec.attempts), 0)
 			continue
 		}
 		s.jobs.finish(rec, resp, herr)
+		failed := 0.0
+		if herr != nil {
+			failed = 1
+		}
+		s.obs.Emit(obs.KindDone, s.uptime(), int32(rec.id), -1, 0, failed)
 		if herr == nil {
 			s.served.Add(1)
 		} else if herr.status < http.StatusInternalServerError {
@@ -399,10 +439,13 @@ func (s *Server) waitRetry(rec *jobRecord) bool {
 func (s *Server) expireJob(rec *jobRecord) {
 	s.jobs.expire(rec, fail(http.StatusGatewayTimeout,
 		"deadline exceeded after %d attempt(s)", rec.attempts))
+	s.obs.Emit(obs.KindDone, s.uptime(), int32(rec.id), -1, 0, 1)
 	s.rejected.Add(1)
 }
 
-// handleJobGet reports one job's lifecycle.
+// handleJobGet reports one job's lifecycle. With ?timeline=1 a done job
+// that carries a trace renders it as the text Gantt chart instead of
+// JSON — the single-tree counterpart of cmd/experiments -timeline.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
@@ -414,5 +457,29 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, fail(http.StatusNotFound, "unknown job %d (finished jobs are retained up to the tracked-jobs budget)", id))
 		return
 	}
+	if r.URL.Query().Get("timeline") != "" {
+		s.writeJobTimeline(w, &v)
+		return
+	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// writeJobTimeline renders a finished job's trace as a text Gantt.
+func (s *Server) writeJobTimeline(w http.ResponseWriter, v *JobView) {
+	if v.Status != JobDone || v.Response == nil {
+		s.reject(w, fail(http.StatusConflict, "job %d is %s: a timeline needs a completed evaluation", v.ID, v.Status))
+		return
+	}
+	if len(v.Response.Trace) == 0 {
+		s.reject(w, fail(http.StatusUnprocessableEntity, "job %d has no trace: submit it with \"trace\": true", v.ID))
+		return
+	}
+	spans := make([]trace.Span, len(v.Response.Trace))
+	for i, sp := range v.Response.Trace {
+		spans[i] = trace.Span{Node: tree.NodeID(sp.Node), Start: sp.Start, End: sp.End}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := trace.Gantt(w, spans, v.Response.Makespan, 100); err != nil {
+		fmt.Fprintf(w, "timeline rendering failed: %v\n", err)
+	}
 }

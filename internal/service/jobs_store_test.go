@@ -105,7 +105,7 @@ func TestJobStoreRequeueTransitions(t *testing.T) {
 		t.Fatal("enqueue refused")
 	}
 	js.setRunning(rec)
-	js.requeue(rec)
+	js.requeue(rec, 0)
 	if v, _ := js.view(rec.id); v.Status != JobQueued || v.Attempts != 1 {
 		t.Fatalf("after requeue: %+v", v)
 	}
@@ -174,7 +174,7 @@ func TestJobStoreConcurrentFinishEviction(t *testing.T) {
 				case 0:
 					js.finish(rec, &Response{}, nil)
 				case 1:
-					js.requeue(rec)
+					js.requeue(rec, 0)
 					js.setRunning(rec)
 					js.finish(rec, nil, fail(http.StatusInternalServerError, "boom"))
 				default:

@@ -33,10 +33,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/perturb"
 	"repro/internal/sim"
@@ -252,6 +254,23 @@ type Stats struct {
 	JobsDone         int64 `json:"jobs_done"`
 	JobsFailed       int64 `json:"jobs_failed"`
 	JobsTracked      int   `json:"jobs_tracked"`
+	// JobsRestarts counts transient-failure re-queues; JobsExpired
+	// counts deadline expiries (a subset of JobsFailed); JobsRestored
+	// counts jobs admitted from a shutdown checkpoint.
+	JobsRestarts int64 `json:"jobs_restarts"`
+	JobsExpired  int64 `json:"jobs_expired"`
+	JobsRestored int64 `json:"jobs_restored"`
+	// WastedWorkSeconds is evaluation wall time whose outcome was thrown
+	// away: attempts that failed transiently and were retried.
+	WastedWorkSeconds float64 `json:"wasted_work_seconds"`
+	// InFlightHighWater is the worker-pool occupancy high-water mark.
+	InFlightHighWater int64 `json:"in_flight_high_water"`
+	// StreamSubscribers / StreamDroppedFrames / StreamDroppedEvents
+	// gauge the /streamz event bus: live subscriptions, frames dropped
+	// to slow consumers, events refused by a full ring.
+	StreamSubscribers   int    `json:"stream_subscribers"`
+	StreamDroppedFrames uint64 `json:"stream_dropped_frames"`
+	StreamDroppedEvents uint64 `json:"stream_dropped_events"`
 }
 
 // errorBody is every non-200 payload. Bound and MinMemory are set on
@@ -280,9 +299,23 @@ type Server struct {
 	jobs  *jobStore
 	sem   chan struct{}
 
-	inFlight atomic.Int64
-	served   atomic.Int64
-	rejected atomic.Int64
+	inFlight   atomic.Int64
+	inFlightHW atomic.Int64
+	served     atomic.Int64
+	rejected   atomic.Int64
+	restored   atomic.Int64
+
+	// obs is the event bus behind /streamz: every emitter (handlers,
+	// job runners) is its own goroutine, so it runs the multi-producer
+	// ring. start anchors event timestamps (seconds since boot).
+	obs   *obs.Observer
+	start time.Time
+
+	// admissions counts /schedule verdicts per (heuristic, decision)
+	// for /metricsz. Heuristic labels are clamped to the known set so
+	// hostile requests cannot grow the metric's cardinality.
+	admMu      sync.Mutex
+	admissions map[string]map[string]int64
 
 	// draining refuses new async jobs once Drain has been called;
 	// drainCh (closed by Drain) cuts retry backoff waits short so
@@ -302,12 +335,23 @@ type Server struct {
 func New(opts *Options) *Server {
 	o := opts.withDefaults()
 	return &Server{
-		opts:    o,
-		cache:   newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
-		jobs:    newJobStore(o.MaxQueuedJobs, o.MaxQueuedBytes, o.MaxTrackedJobs),
-		sem:     make(chan struct{}, o.Workers),
-		drainCh: make(chan struct{}),
+		opts:       o,
+		cache:      newTreeCache(o.MaxCachedTrees, o.MaxCachedNodes),
+		jobs:       newJobStore(o.MaxQueuedJobs, o.MaxQueuedBytes, o.MaxTrackedJobs),
+		sem:        make(chan struct{}, o.Workers),
+		drainCh:    make(chan struct{}),
+		obs:        obs.New(&obs.Options{Ring: 1 << 14, Frame: 64}),
+		start:      time.Now(),
+		admissions: make(map[string]map[string]int64),
 	}
+}
+
+// CloseStreams shuts the event bus down: the drain goroutine flushes
+// what the ring holds and exits, and every /streamz subscription's
+// channel closes so in-flight stream handlers return. Call it after
+// Drain, before the process exits (goroleak-clean shutdown).
+func (s *Server) CloseStreams() {
+	s.obs.Close()
 }
 
 // Drain stops accepting new asynchronous jobs (POST /jobs answers 503
@@ -345,6 +389,7 @@ func (s *Server) RestoreJobs(reqs []Request) int {
 			admitted++
 		}
 	}
+	s.restored.Add(int64(admitted))
 	return admitted
 }
 
@@ -359,6 +404,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /streamz", s.handleStreamz)
 	return mux
 }
 
@@ -408,21 +455,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() Stats {
 	hits, misses, entries, nodes := s.cache.snapshot()
 	queued, running, pendingBytes, done, failed, tracked := s.jobs.gauges()
+	restarts, expired, wasted := s.jobs.faultGauges()
 	return Stats{
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		CachedTrees:      entries,
-		CachedNodes:      nodes,
-		InFlight:         s.inFlight.Load(),
-		Served:           s.served.Load(),
-		Rejected:         s.rejected.Load(),
-		Workers:          s.opts.Workers,
-		JobsQueued:       queued,
-		JobsRunning:      running,
-		JobsPendingBytes: pendingBytes,
-		JobsDone:         done,
-		JobsFailed:       failed,
-		JobsTracked:      tracked,
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CachedTrees:         entries,
+		CachedNodes:         nodes,
+		InFlight:            s.inFlight.Load(),
+		Served:              s.served.Load(),
+		Rejected:            s.rejected.Load(),
+		Workers:             s.opts.Workers,
+		JobsQueued:          queued,
+		JobsRunning:         running,
+		JobsPendingBytes:    pendingBytes,
+		JobsDone:            done,
+		JobsFailed:          failed,
+		JobsTracked:         tracked,
+		JobsRestarts:        restarts,
+		JobsExpired:         expired,
+		JobsRestored:        s.restored.Load(),
+		WastedWorkSeconds:   wasted,
+		InFlightHighWater:   s.inFlightHW.Load(),
+		StreamSubscribers:   s.obs.Subscribers(),
+		StreamDroppedFrames: s.obs.DroppedFrames(),
+		StreamDroppedEvents: s.obs.DroppedEvents(),
 	}
 }
 
@@ -449,7 +505,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		return
 	}
-	s.inFlight.Add(1)
+	s.enterFlight()
 	defer func() {
 		s.inFlight.Add(-1)
 		<-s.sem
@@ -459,6 +515,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, herr := s.schedule(req)
+	s.recordAdmission(req, herr)
 	if herr != nil {
 		s.reject(w, herr)
 		return

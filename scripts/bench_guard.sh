@@ -1,30 +1,39 @@
 #!/bin/sh
 # bench_guard.sh — benchstat-style regression guard for the stream
 # tier. Runs the reduced smoke corpus (BenchmarkMultiStreamSmoke, 500
-# jobs) a few times, takes the best ns/node (min across -count runs,
-# the standard way to cut scheduler/CI noise), and fails if it
-# regresses more than GUARD_SLACK percent (default 20) against the
-# committed baseline in scripts/bench_baseline.txt.
+# jobs) and its observer-wired twin (BenchmarkMultiStreamObsSmoke) a
+# few times, takes the best ns/node of each (min across -count runs,
+# the standard way to cut scheduler/CI noise), and fails if:
+#
+#   - the bare number regresses more than GUARD_SLACK percent
+#     (default 20) against the committed baseline in
+#     scripts/bench_baseline.txt, or
+#   - the observed number exceeds the bare number from the SAME run by
+#     more than OBS_SLACK percent (default 5) — the cost ceiling of
+#     the telemetry hook (internal/obs), compared same-run so machine
+#     speed cancels out.
 #
 # To refresh the baseline after an intentional perf change:
-#   go test -run '^$' -bench MultiStreamSmoke -benchtime 3x -count 3 .
+#   go test -run '^$' -bench 'MultiStreamSmoke$' -benchtime 3x -count 3 .
 # then write the best ns/node into scripts/bench_baseline.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
 baseline_file=scripts/bench_baseline.txt
 slack=${GUARD_SLACK:-20}
+obs_slack=${OBS_SLACK:-5}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkMultiStreamSmoke' \
+go test -run '^$' -bench 'BenchmarkMultiStreamSmoke$|BenchmarkMultiStreamObsSmoke' \
 	-benchtime "${GUARD_BENCHTIME:-3x}" -count "${GUARD_COUNT:-3}" . | tee "$tmp"
 
 cur=$(awk '$1 ~ /^BenchmarkMultiStreamSmoke/ && ($7+0 < best || best == "") { best=$7 } END { print best }' "$tmp")
+obs=$(awk '$1 ~ /^BenchmarkMultiStreamObsSmoke/ && ($7+0 < best || best == "") { best=$7 } END { print best }' "$tmp")
 base=$(awk '$1 == "multi_stream_smoke_ns_per_node" { print $2 }' "$baseline_file")
 
-if [ -z "$cur" ]; then
-	echo "bench_guard: benchmark produced no ns/node sample" >&2
+if [ -z "$cur" ] || [ -z "$obs" ]; then
+	echo "bench_guard: benchmark produced no ns/node sample (bare='$cur' obs='$obs')" >&2
 	exit 1
 fi
 if [ -z "$base" ]; then
@@ -41,4 +50,13 @@ awk -v cur="$cur" -v base="$base" -v slack="$slack" 'BEGIN {
 	}
 	if (cur + 0 < base * 0.8)
 		printf "bench_guard: note: %.0f%% faster than baseline — consider refreshing %s\n", (1 - cur / base) * 100, "scripts/bench_baseline.txt"
+}'
+
+awk -v cur="$cur" -v obs="$obs" -v slack="$obs_slack" 'BEGIN {
+	limit = cur * (1 + slack / 100)
+	printf "bench_guard: observed stream %s ns/node (bare %s, limit %.1f at +%s%%)\n", obs, cur, limit, slack
+	if (obs + 0 > limit) {
+		printf "bench_guard: OBSERVER OVERHEAD: %.1f ns/node is %.1f%% over the bare %.1f\n", obs, (obs / cur - 1) * 100, cur
+		exit 1
+	}
 }'
